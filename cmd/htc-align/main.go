@@ -1,0 +1,153 @@
+// Command htc-align aligns two attributed networks stored in the
+// library's text format and prints the predicted anchor links.
+//
+// Usage:
+//
+//	htc-align -source s.graph -target t.graph [-k 13] [-epochs 60]
+//	          [-variant HTC|HTC-L|HTC-H|HTC-LT|HTC-DT] [-seed 1]
+//	          [-truth truth.txt] [-top 1]
+//
+// The optional truth file contains one "source target" pair per line and
+// enables precision/MRR evaluation. Graph files are produced by
+// htc-datagen or by htc.WriteGraph.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	htc "github.com/htc-align/htc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("htc-align: ")
+
+	sourcePath := flag.String("source", "", "source graph file (required)")
+	targetPath := flag.String("target", "", "target graph file (required)")
+	k := flag.Int("k", 0, "number of orbits (default 13)")
+	epochs := flag.Int("epochs", 0, "training epochs (default 60)")
+	variant := flag.String("variant", "HTC", "pipeline variant: HTC, HTC-L, HTC-H, HTC-LT, HTC-DT")
+	seed := flag.Int64("seed", 1, "random seed")
+	truthPath := flag.String("truth", "", "optional ground-truth file for evaluation")
+	top := flag.Int("top", 1, "print the top-N candidates per source node")
+	flag.Parse()
+
+	if *sourcePath == "" || *targetPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	gs := mustReadGraph(*sourcePath)
+	gt := mustReadGraph(*targetPath)
+
+	cfg := htc.Config{K: *k, Epochs: *epochs, Seed: *seed}
+	switch strings.ToUpper(*variant) {
+	case "HTC", "":
+		cfg.Variant = htc.VariantFull
+	case "HTC-L":
+		cfg.Variant = htc.VariantLowOrder
+	case "HTC-H":
+		cfg.Variant = htc.VariantHighOrder
+	case "HTC-LT":
+		cfg.Variant = htc.VariantLowOrderFT
+	case "HTC-DT":
+		cfg.Variant = htc.VariantDiffusion
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+
+	res, err := htc.Align(gs, gt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# aligned %d source nodes to %d target nodes (%s)\n", gs.N(), gt.N(), *variant)
+	fmt.Printf("# timings: %v\n", res.Timings)
+
+	if *top <= 1 {
+		for s, t := range res.Predict() {
+			fmt.Printf("%d %d\n", s, t)
+		}
+	} else {
+		for s := 0; s < gs.N(); s++ {
+			fmt.Printf("%d", s)
+			for _, t := range topQ(res.M.Row(s), *top) {
+				fmt.Printf(" %d", t)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *truthPath != "" {
+		truth := mustReadTruth(*truthPath, gs.N())
+		rep := htc.Evaluate(res.M, truth, 1, 10)
+		fmt.Printf("# evaluation: %v\n", rep)
+	}
+}
+
+func mustReadGraph(path string) *htc.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	g, err := htc.ReadGraph(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return g
+}
+
+func mustReadTruth(path string, n int) htc.Truth {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	truth := make(htc.Truth, n)
+	for i := range truth {
+		truth[i] = -1
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var s, t int
+		if _, err := fmt.Sscanf(line, "%d %d", &s, &t); err != nil {
+			log.Fatalf("%s: bad line %q", path, line)
+		}
+		if s < 0 || s >= n {
+			log.Fatalf("%s: source %d out of range", path, s)
+		}
+		truth[s] = t
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return truth
+}
+
+// topQ returns the indices of the q largest entries of row, descending.
+func topQ(row []float64, q int) []int {
+	if q > len(row) {
+		q = len(row)
+	}
+	idx := make([]int, 0, q)
+	used := make(map[int]bool, q)
+	for len(idx) < q {
+		best, bestV := -1, 0.0
+		for j, v := range row {
+			if !used[j] && (best < 0 || v > bestV) {
+				best, bestV = j, v
+			}
+		}
+		used[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}

@@ -1,0 +1,100 @@
+// Command htc-datagen generates the synthetic benchmark datasets described
+// in DESIGN.md (stand-ins for the paper's five network pairs) and writes
+// them in the library's text format, plus a ground-truth file consumable
+// by htc-align.
+//
+// Usage:
+//
+//	htc-datagen -dataset allmovie|douban|flickr|econ|bn [-n 0] [-seed 1]
+//	            [-remove 0.2] [-out DIR]
+//	htc-datagen -stats            # print the Table I statistics
+//
+// For econ and bn (single networks), -remove controls the edge-removal
+// ratio used to derive the target, as in the paper's robustness study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	htc "github.com/htc-align/htc"
+	"github.com/htc-align/htc/internal/datasets"
+	"github.com/htc-align/htc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("htc-datagen: ")
+
+	dataset := flag.String("dataset", "", "dataset: allmovie, douban, flickr, econ, bn")
+	n := flag.Int("n", 0, "size override (0 = default scale)")
+	seed := flag.Int64("seed", 1, "random seed")
+	remove := flag.Float64("remove", 0.2, "edge-removal ratio for econ/bn targets")
+	out := flag.String("out", ".", "output directory")
+	stats := flag.Bool("stats", false, "print Table I statistics and exit")
+	flag.Parse()
+
+	if *stats {
+		_, text := experiments.Table1(experiments.Options{Seed: *seed})
+		fmt.Print(text)
+		return
+	}
+
+	var pair *datasets.Pair
+	switch *dataset {
+	case "allmovie":
+		pair = htc.AllmovieImdb(*n, *seed)
+	case "douban":
+		pair = htc.Douban(*n, *seed)
+	case "flickr":
+		pair = htc.FlickrMyspace(*n, *seed)
+	case "econ", "bn":
+		var src *htc.Graph
+		if *dataset == "econ" {
+			src = htc.Econ(*n, *seed)
+		} else {
+			src = htc.BN(*n, *seed)
+		}
+		target, truth := htc.MakeTarget(src, *remove, *seed+1)
+		pair = &datasets.Pair{Name: *dataset, Source: src, Target: target, Truth: truth}
+	case "":
+		flag.Usage()
+		os.Exit(2)
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	writeGraph(filepath.Join(*out, *dataset+"_source.graph"), pair.Source)
+	writeGraph(filepath.Join(*out, *dataset+"_target.graph"), pair.Target)
+	writeTruth(filepath.Join(*out, *dataset+"_truth.txt"), pair.Truth)
+	fmt.Printf("wrote %s pair: source %v, target %v, %d anchors\n",
+		pair.Name, pair.Source, pair.Target, pair.Truth.NumAnchors())
+}
+
+func writeGraph(path string, g *htc.Graph) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := htc.WriteGraph(f, g); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+}
+
+func writeTruth(path string, truth htc.Truth) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "# source target")
+	for s, t := range truth {
+		if t >= 0 {
+			fmt.Fprintf(f, "%d %d\n", s, t)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command htc-experiments regenerates the tables and figures of the
+// paper's evaluation section on the simulated datasets.
+//
+// Usage:
+//
+//	htc-experiments -run table1|table2|table3|fig6|fig7|fig8|fig9|fig10|fig11|all
+//	                [-scale 1.0] [-seed 1] [-epochs 0]
+//
+// Scale shrinks the datasets proportionally (useful for quick runs);
+// epochs overrides training length (0 = defaults). Output is plain text,
+// one section per artefact; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/htc-align/htc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("htc-experiments: ")
+
+	run := flag.String("run", "all", "artefact to regenerate (table1..3, fig6..11, all)")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	seed := flag.Int64("seed", 1, "random seed")
+	epochs := flag.Int("epochs", 0, "training epochs override (0 = defaults)")
+	flag.Parse()
+
+	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs}
+	start := time.Now()
+
+	var table2Cells []experiments.Cell
+	table2 := func() {
+		cells, text, err := experiments.Table2(o)
+		fail(err)
+		table2Cells = cells
+		fmt.Println(text)
+	}
+
+	steps := map[string]func(){
+		"table1": func() { _, text := experiments.Table1(o); fmt.Println(text) },
+		"table2": table2,
+		"table3": func() { _, text, err := experiments.Table3(o); fail(err); fmt.Println(text) },
+		"fig6":   func() { _, text, err := experiments.Fig6(o); fail(err); fmt.Println(text) },
+		"fig7": func() {
+			if table2Cells == nil {
+				table2()
+			}
+			fmt.Println(experiments.Fig7(table2Cells))
+		},
+		"fig8": func() { _, text, err := experiments.Fig8(o); fail(err); fmt.Println(text) },
+		"fig9": func() { _, text, err := experiments.Fig9(o); fail(err); fmt.Println(text) },
+		"fig9add": func() {
+			_, text, err := experiments.Fig9Additive(o)
+			fail(err)
+			fmt.Println(text)
+		},
+		"fig10": func() { _, text, err := experiments.Fig10(o); fail(err); fmt.Println(text) },
+		"fig11": func() { _, text, err := experiments.Fig11(o); fail(err); fmt.Println(text) },
+	}
+
+	order := []string{"table1", "table2", "fig7", "table3", "fig6", "fig8", "fig9", "fig10", "fig11"}
+	if *run == "all" {
+		for _, name := range order {
+			steps[name]()
+		}
+	} else if step, ok := steps[*run]; ok {
+		step()
+	} else {
+		log.Printf("unknown artefact %q", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Second))
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

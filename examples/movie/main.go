@@ -1,0 +1,47 @@
+// Command movie aligns the simulated Allmovie–Imdb pair — the dense,
+// clique-rich co-actor networks where higher-order structure is most
+// informative — and prints the per-orbit importance ranking, reproducing
+// the analysis of the paper's Fig. 6a: on dense clustered graphs many
+// orbits contribute, and the trivial edge pattern (orbit 0) is NOT the
+// most important one.
+//
+// Run it with:
+//
+//	go run ./examples/movie
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	htc "github.com/htc-align/htc"
+)
+
+func main() {
+	pair := htc.AllmovieImdb(300, 21)
+	fmt.Printf("source: %v\ntarget: %v\n\n", pair.Source, pair.Target)
+
+	res, err := htc.Align(pair.Source, pair.Target, htc.Config{
+		Hidden: 64, Embed: 32, Epochs: 60, Seed: 22,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := htc.Evaluate(res.M, pair.Truth, 1, 10)
+	fmt.Printf("HTC: p@1=%.4f p@10=%.4f MRR=%.4f\n\n",
+		rep.PrecisionAt[1], rep.PrecisionAt[10], rep.MRR)
+
+	// Rank orbits by importance, as in Fig. 6.
+	outcomes := append([]htc.OrbitOutcome(nil), res.PerOrbit...)
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].Gamma > outcomes[j].Gamma })
+	fmt.Println("orbit importance ranking (cf. paper Fig. 6a):")
+	for rank, o := range outcomes {
+		bar := ""
+		for i := 0; i < int(o.Gamma*200); i++ {
+			bar += "█"
+		}
+		fmt.Printf("  #%2d orbit %2d %-15s γ=%.4f %s\n",
+			rank+1, o.Orbit, htc.OrbitNames[o.Orbit], o.Gamma, bar)
+	}
+}

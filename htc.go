@@ -1,0 +1,269 @@
+// Package htc is the public API of the HTC network-alignment library, a
+// from-scratch Go reproduction of "Towards Higher-order Topological
+// Consistency for Unsupervised Network Alignment" (Sun et al., ICDE 2023).
+//
+// HTC aligns two attributed networks without any labelled anchor links.
+// Its central idea is to replace the usual edge-indiscriminative
+// ("low-order") topological consistency assumption with a higher-order one
+// defined on the 13 edge orbits of 2–4-node graphlets, injected into the
+// aggregation of a shared-weight GCN autoencoder, refined with
+// trusted-pair fine-tuning and integrated across orbits by posterior
+// importance weights.
+//
+// Quick start:
+//
+//	b := htc.NewBuilder(4)
+//	b.AddEdge(0, 1)
+//	// ... add edges, Build() both graphs ...
+//	res, err := htc.Align(gs, gt, htc.Config{})
+//	pred := res.Predict() // pred[i] = most likely anchor of source node i
+//
+// The package re-exports the supporting machinery a downstream user needs:
+// graph construction and IO, the dataset simulators used in the paper's
+// evaluation, the six baseline aligners, the evaluation metrics, and the
+// raw edge-orbit counter.
+package htc
+
+import (
+	"io"
+	"math/rand"
+
+	"github.com/htc-align/htc/internal/align"
+	"github.com/htc-align/htc/internal/baselines"
+	"github.com/htc-align/htc/internal/core"
+	"github.com/htc-align/htc/internal/datasets"
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/metrics"
+	"github.com/htc-align/htc/internal/orbit"
+)
+
+// Graph is an immutable undirected attributed network.
+type Graph = graph.Graph
+
+// Builder incrementally constructs a Graph.
+type Builder = graph.Builder
+
+// Matrix is the dense matrix type used for attributes and alignment
+// scores.
+type Matrix = dense.Matrix
+
+// Config holds the HTC pipeline hyperparameters; the zero value selects
+// the paper's defaults.
+type Config = core.Config
+
+// Result is the outcome of an alignment run.
+type Result = core.Result
+
+// Variant selects an ablation of the pipeline (Table III).
+type Variant = core.Variant
+
+// StageTimings decomposes a run's wall-clock cost (Fig. 8).
+type StageTimings = core.StageTimings
+
+// OrbitOutcome reports one orbit's trusted pairs and importance weight.
+type OrbitOutcome = core.OrbitOutcome
+
+// The pipeline variants of the paper's ablation study.
+const (
+	// VariantFull is HTC: all orbits with trusted-pair fine-tuning.
+	VariantFull = core.Full
+	// VariantLowOrder is HTC-L: orbit 0 only, no fine-tuning.
+	VariantLowOrder = core.LowOrder
+	// VariantHighOrder is HTC-H: all orbits, no fine-tuning.
+	VariantHighOrder = core.HighOrder
+	// VariantLowOrderFT is HTC-LT: orbit 0 with fine-tuning.
+	VariantLowOrderFT = core.LowOrderFT
+	// VariantDiffusion is HTC-DT: diffusion matrices replace GOMs.
+	VariantDiffusion = core.DiffusionFT
+)
+
+// Truth is the (possibly partial) ground-truth anchor map used for
+// evaluation: Truth[s] = target node, or −1.
+type Truth = metrics.Truth
+
+// Report holds precision@q and MRR scores.
+type Report = metrics.Report
+
+// Pair is a ready-to-align dataset with ground truth.
+type Pair = datasets.Pair
+
+// Stats is a Table-I style summary of one network.
+type Stats = datasets.Stats
+
+// Aligner is the interface every alignment method implements.
+type Aligner = baselines.Aligner
+
+// Anchor is one known source→target correspondence (supervision for the
+// supervised baselines).
+type Anchor = baselines.Anchor
+
+// NumOrbits is the number of edge orbits on 2–4-node graphlets.
+const NumOrbits = orbit.NumOrbits
+
+// OrbitNames labels each orbit for reports.
+var OrbitNames = orbit.Names
+
+// ErrAttrMismatch reports incompatible attribute spaces between the two
+// graphs passed to Align.
+var ErrAttrMismatch = core.ErrAttrMismatch
+
+// NewBuilder returns a builder for a graph on n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// NewMatrix returns a zeroed r×c matrix (for node attributes).
+func NewMatrix(r, c int) *Matrix { return dense.New(r, c) }
+
+// MatrixFromRows builds a matrix from a slice of equal-length rows.
+func MatrixFromRows(rows [][]float64) *Matrix { return dense.FromRows(rows) }
+
+// Permutation returns a random permutation of 0..n−1 — handy for building
+// synthetic alignment problems with hidden identities.
+func Permutation(n int, seed int64) []int {
+	return graph.Permutation(n, rand.New(rand.NewSource(seed)))
+}
+
+// Relabel returns a copy of g whose node i has been renamed perm[i], with
+// attributes moved along.
+func Relabel(g *Graph, perm []int) *Graph { return graph.Relabel(g, perm) }
+
+// Components labels the connected components of g and returns the
+// per-node component ids plus the component count.
+func Components(g *Graph) ([]int, int) { return graph.Components(g) }
+
+// LargestComponent returns the node ids of g's largest connected
+// component in increasing order.
+func LargestComponent(g *Graph) []int { return graph.LargestComponent(g) }
+
+// InducedSubgraph returns the subgraph induced on the given nodes and the
+// mapping from new ids to original ids. Attributes are carried over.
+func InducedSubgraph(g *Graph, nodes []int) (*Graph, []int) {
+	return graph.InducedSubgraph(g, nodes)
+}
+
+// BFSDistances returns hop distances from start (−1 for unreachable).
+func BFSDistances(g *Graph, start int) []int { return graph.BFSDistances(g, start) }
+
+// Triangles counts the triangles of g, each once.
+func Triangles(g *Graph) int { return graph.Triangles(g) }
+
+// ReadGraph parses a graph from the library's text format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph serialises a graph in the library's text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// Align runs the HTC pipeline (or the configured ablation variant) on a
+// source and target graph and returns the alignment result.
+func Align(gs, gt *Graph, cfg Config) (*Result, error) { return core.Align(gs, gt, cfg) }
+
+// Evaluate scores an alignment matrix against ground truth at the given
+// precision cutoffs.
+func Evaluate(m *Matrix, truth Truth, qs ...int) Report { return metrics.Evaluate(m, truth, qs...) }
+
+// CountEdgeOrbits returns, for every edge of g (in g.Edges() order), how
+// many times it occurs on each of the 13 edge orbits.
+func CountEdgeOrbits(g *Graph) [][NumOrbits]int64 { return orbit.Count(g).PerEdge }
+
+// NumNodeOrbits is the number of node orbits on 2–4-node graphlets.
+const NumNodeOrbits = orbit.NumNodeOrbits
+
+// NodeOrbitNames labels each node orbit.
+var NodeOrbitNames = orbit.NodeNames
+
+// CountNodeOrbits returns every node's graphlet degree vector: how many
+// times the node occurs on each of the 15 node orbits of 2–4-node
+// graphlets.
+func CountNodeOrbits(g *Graph) [][NumNodeOrbits]int64 { return orbit.CountNodes(g).PerNode }
+
+// HTC adapts the pipeline to the Aligner interface so it can be compared
+// uniformly with the baselines. By default it is fully unsupervised and
+// ignores seeds; with UseSeeds set it runs the semi-supervised HTC-S mode,
+// reinforcing known anchors before fine-tuning (Proposition 2 covers
+// "trusted (or known)" anchor nodes uniformly).
+type HTC struct {
+	// Config holds the pipeline hyperparameters (zero value = defaults).
+	Config Config
+	// UseSeeds feeds the seeds argument of Align into the fine-tuning
+	// reinforcement (HTC-S).
+	UseSeeds bool
+}
+
+// Name implements Aligner.
+func (h HTC) Name() string {
+	if h.UseSeeds {
+		return h.Config.Variant.String() + "-S"
+	}
+	return h.Config.Variant.String()
+}
+
+// Align implements Aligner.
+func (h HTC) Align(gs, gt *Graph, seeds []Anchor) (*Matrix, error) {
+	cfg := h.Config
+	if h.UseSeeds {
+		cfg.Seeds = make([][2]int, 0, len(seeds))
+		for _, s := range seeds {
+			cfg.Seeds = append(cfg.Seeds, [2]int{s.S, s.T})
+		}
+	}
+	res, err := core.Align(gs, gt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.M, nil
+}
+
+// The six baseline aligners of the paper's evaluation, re-exported for
+// downstream comparison studies. See internal/baselines for fidelity
+// notes.
+type (
+	// IsoRank is topology-only fixed-point similarity propagation.
+	IsoRank = baselines.IsoRank
+	// FINAL is attributed alignment via compatibility-gated propagation.
+	FINAL = baselines.FINAL
+	// REGAL is unsupervised xNetMF embedding alignment.
+	REGAL = baselines.REGAL
+	// PALE embeds each network independently and learns a seed-supervised
+	// mapping.
+	PALE = baselines.PALE
+	// CENALP iteratively grows anchors and re-embeds the coupled graphs.
+	CENALP = baselines.CENALP
+	// GAlign is the unsupervised multi-order GCN aligner.
+	GAlign = baselines.GAlign
+	// GREAT aligns by raw graphlet-edge-signature similarity (no
+	// learning) — the higher-order, embedding-free strawman.
+	GREAT = baselines.GREAT
+)
+
+// SampleSeeds draws a fraction of ground truth as supervision for the
+// supervised baselines (the paper grants them 10%).
+func SampleSeeds(truth Truth, frac float64, seed int64) []Anchor {
+	return baselines.SampleSeeds(truth, frac, seed)
+}
+
+// GreedyMatch extracts an injective assignment from an alignment matrix
+// by repeatedly taking the best unmatched pair (1/2-approximation).
+func GreedyMatch(m *Matrix) []int { return align.GreedyMatch(m) }
+
+// HungarianMatch computes the exact maximum-weight one-to-one assignment
+// of an alignment matrix (O(n³)).
+func HungarianMatch(m *Matrix) []int { return align.HungarianMatch(m) }
+
+// Dataset simulators reproducing the statistical regimes of the paper's
+// five evaluation pairs; see internal/datasets for the substitution notes.
+var (
+	// AllmovieImdb builds the dense, clustered movie-network pair.
+	AllmovieImdb = datasets.AllmovieImdb
+	// Douban builds the sparse, partially-aligned social pair.
+	Douban = datasets.Douban
+	// FlickrMyspace builds the consistency-violating hard pair.
+	FlickrMyspace = datasets.FlickrMyspace
+	// Econ builds the core–periphery economic network.
+	Econ = datasets.Econ
+	// BN builds the geometric brain network.
+	BN = datasets.BN
+	// PPI builds a duplication–divergence protein interaction network.
+	PPI = datasets.PPI
+	// MakeTarget derives a noisy, relabelled target from any source.
+	MakeTarget = datasets.MakeTarget
+)

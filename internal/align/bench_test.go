@@ -1,0 +1,54 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+func benchEmbeddings(n, d int, seed int64) *dense.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := dense.New(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkCorr1000(b *testing.B) {
+	hs := benchEmbeddings(1000, 64, 1)
+	ht := benchEmbeddings(1000, 64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Corr(hs, ht)
+	}
+}
+
+func BenchmarkLISI1000(b *testing.B) {
+	corr := Corr(benchEmbeddings(1000, 64, 3), benchEmbeddings(1000, 64, 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LISI(corr, 20)
+	}
+}
+
+func BenchmarkTrustedPairs1000(b *testing.B) {
+	m := LISI(Corr(benchEmbeddings(1000, 64, 5), benchEmbeddings(1000, 64, 6)), 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrustedPairs(m)
+	}
+}
+
+func BenchmarkHungarian200(b *testing.B) {
+	m := Corr(benchEmbeddings(200, 32, 7), benchEmbeddings(200, 32, 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HungarianMatch(m)
+	}
+}

@@ -1,0 +1,134 @@
+package align
+
+import (
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/nn"
+	"github.com/htc-align/htc/internal/sparse"
+)
+
+// FineTuneConfig controls the trusted-pair based refinement loop.
+type FineTuneConfig struct {
+	// M is the neighbourhood size of the hubness estimate (paper: 20).
+	M int
+	// Beta is the reinforcement rate β > 1 applied to the aggregation
+	// coefficients of trusted nodes (paper: 1.1).
+	Beta float64
+	// MaxIters caps the refinement loop as a safety net; Algorithm 2's
+	// natural termination (no growth in trusted pairs) usually fires
+	// first. Zero means the default of 30.
+	MaxIters int
+	// KnownPairs are anchor links known a priori. Proposition 2 covers
+	// "trusted (or known) anchor nodes" uniformly: known anchors are
+	// reinforced before the first iteration, seeding the discovery of
+	// potential anchors around them (the semi-supervised HTC-S mode).
+	KnownPairs [][2]int
+}
+
+func (c FineTuneConfig) withDefaults() FineTuneConfig {
+	if c.M <= 0 {
+		c.M = 20
+	}
+	if c.Beta <= 1 {
+		c.Beta = 1.1
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 30
+	}
+	return c
+}
+
+// FineTuneResult reports the outcome of one orbit's refinement.
+type FineTuneResult struct {
+	// M is the alignment matrix of the best iteration (the one that
+	// identified the most trusted pairs).
+	M *dense.Matrix
+	// Trusted is that maximal trusted-pair count Tmax.
+	Trusted int
+	// Iters is the number of loop iterations executed.
+	Iters int
+	// Hs and Ht are the source/target embeddings of the best iteration,
+	// used by downstream analyses (the paper's Fig. 11 visualisation).
+	Hs, Ht *dense.Matrix
+}
+
+// FineTune runs Algorithm 2 for a single orbit: compute LISI, identify
+// trusted pairs, reinforce their aggregation coefficients (Eq. 13), re-embed
+// through the reinforced Laplacians (Eq. 14), and repeat while the number
+// of trusted pairs keeps growing. The encoder weights are never modified —
+// only the aggregation coefficients are tuned.
+func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg FineTuneConfig) *FineTuneResult {
+	cfg = cfg.withDefaults()
+	rs := ones(lapS.Rows)
+	rt := ones(lapT.Rows)
+	for _, p := range cfg.KnownPairs {
+		if p[0] >= 0 && p[0] < lapS.Rows && p[1] >= 0 && p[1] < lapT.Rows {
+			rs[p[0]] *= cfg.Beta
+			rt[p[1]] *= cfg.Beta
+		}
+	}
+
+	var hs, ht *dense.Matrix
+	if len(cfg.KnownPairs) > 0 {
+		hs = enc.Embed(lapS.DiagScale(rs, rs), xs)
+		ht = enc.Embed(lapT.DiagScale(rt, rt), xt)
+	} else {
+		hs = enc.Embed(lapS, xs)
+		ht = enc.Embed(lapT, xt)
+	}
+
+	res := &FineTuneResult{Trusted: -1}
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		res.Iters = iter + 1
+		m := LISI(Corr(hs, ht), cfg.M)
+		pairs := TrustedPairs(m)
+		if len(pairs) <= res.Trusted {
+			break
+		}
+		res.M, res.Trusted = m, len(pairs)
+		res.Hs, res.Ht = hs, ht
+		for _, p := range pairs {
+			rs[p[0]] *= cfg.Beta
+			rt[p[1]] *= cfg.Beta
+		}
+		hs = enc.Embed(lapS.DiagScale(rs, rs), xs)
+		ht = enc.Embed(lapT.DiagScale(rt, rt), xt)
+	}
+	return res
+}
+
+// ones returns an all-one reinforcement vector (Algorithm 2, line 1).
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Integrate combines per-orbit alignment matrices with the posterior
+// importance weights of Eq. 15: γk = Tk / Σ Ti, where Tk is the trusted-
+// pair count of orbit k. It returns the final alignment matrix and the
+// weights. When no orbit found any trusted pair the weights fall back to
+// uniform.
+func Integrate(ms []*dense.Matrix, trusted []int) (*dense.Matrix, []float64) {
+	if len(ms) == 0 || len(ms) != len(trusted) {
+		panic("align: Integrate needs one trusted count per matrix")
+	}
+	var total int
+	for _, t := range trusted {
+		total += t
+	}
+	gammas := make([]float64, len(ms))
+	for k := range gammas {
+		if total > 0 {
+			gammas[k] = float64(trusted[k]) / float64(total)
+		} else {
+			gammas[k] = 1 / float64(len(ms))
+		}
+	}
+	out := dense.New(ms[0].Rows, ms[0].Cols)
+	for k, m := range ms {
+		out.AddScaled(m, gammas[k])
+	}
+	return out, gammas
+}

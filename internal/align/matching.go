@@ -1,0 +1,164 @@
+package align
+
+import (
+	"math"
+	"sort"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// GreedyMatch extracts a one-to-one matching from an alignment matrix by
+// repeatedly taking the highest-scoring unmatched pair. It returns
+// match[s] = t (or −1 for unmatched source nodes). The result is the
+// standard greedy 1/2-approximation of the maximum-weight matching and is
+// the cheap way to turn HTC's score matrix into a hard assignment.
+func GreedyMatch(m *dense.Matrix) []int {
+	type entry struct {
+		s, t  int
+		score float64
+	}
+	entries := make([]entry, 0, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			entries = append(entries, entry{i, j, v})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].score > entries[j].score })
+	match := make([]int, m.Rows)
+	for i := range match {
+		match[i] = -1
+	}
+	usedT := make([]bool, m.Cols)
+	remaining := m.Rows
+	if m.Cols < remaining {
+		remaining = m.Cols
+	}
+	for _, e := range entries {
+		if remaining == 0 {
+			break
+		}
+		if match[e.s] >= 0 || usedT[e.t] {
+			continue
+		}
+		match[e.s] = e.t
+		usedT[e.t] = true
+		remaining--
+	}
+	return match
+}
+
+// HungarianMatch computes a maximum-weight one-to-one assignment from an
+// alignment matrix with the Hungarian algorithm (Kuhn–Munkres, O(n³) in
+// the Jonker–Volgenant potentials formulation). Rectangular matrices are
+// handled by implicit zero padding; unmatched source nodes (when
+// rows > cols) get −1. Scores may be negative.
+func HungarianMatch(m *dense.Matrix) []int {
+	rows, cols := m.Rows, m.Cols
+	if rows == 0 || cols == 0 {
+		out := make([]int, rows)
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	// The classic JV formulation solves min-cost on a rows ≤ cols matrix;
+	// negate for max-weight and transpose when rows > cols.
+	transposed := rows > cols
+	a := m
+	if transposed {
+		a = m.T()
+		rows, cols = cols, rows
+	}
+
+	// 1-indexed potentials u (rows), v (cols) and column matches p.
+	u := make([]float64, rows+1)
+	v := make([]float64, cols+1)
+	p := make([]int, cols+1)   // p[j] = row matched to column j (0 = none)
+	way := make([]int, cols+1) // way[j] = previous column on the augmenting path
+	for i := 1; i <= rows; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, cols+1)
+		used := make([]bool, cols+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= cols; j++ {
+				if used[j] {
+					continue
+				}
+				// Costs are negated scores.
+				cur := -a.At(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= cols; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	if !transposed {
+		out := make([]int, rows)
+		for i := range out {
+			out[i] = -1
+		}
+		for j := 1; j <= cols; j++ {
+			if p[j] != 0 {
+				out[p[j]-1] = j - 1
+			}
+		}
+		return out
+	}
+	// The transposed solve matched every target column; invert it.
+	out := make([]int, m.Rows)
+	for i := range out {
+		out[i] = -1
+	}
+	for j := 1; j <= cols; j++ {
+		if p[j] != 0 {
+			// In transposed space: row p[j] is a target node, column j a
+			// source node.
+			out[j-1] = p[j] - 1
+		}
+	}
+	return out
+}
+
+// MatchScore sums the matrix entries selected by a matching, the objective
+// both matchers maximise.
+func MatchScore(m *dense.Matrix, match []int) float64 {
+	var s float64
+	for i, j := range match {
+		if j >= 0 {
+			s += m.At(i, j)
+		}
+	}
+	return s
+}

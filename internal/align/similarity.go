@@ -1,0 +1,164 @@
+// Package align implements HTC's alignment machinery on top of node
+// embeddings: the Pearson similarity matrix (Eq. 9), hubness degrees and
+// the locally isolated similarity index LISI (Eq. 10–11), mutual-nearest
+// trusted pairs (Eq. 12), the trusted-pair fine-tuning loop of Algorithm 2
+// (Eq. 13–14) and the posterior importance integration of Eq. 15.
+package align
+
+import (
+	"fmt"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// Corr returns the Pearson correlation matrix between the rows of hs
+// (ns×d) and ht (nt×d): entry (i, j) is corr(hs_i, ht_j) per Eq. 9.
+// Constant (zero-variance) embeddings correlate 0 with everything.
+func Corr(hs, ht *dense.Matrix) *dense.Matrix {
+	if hs.Cols != ht.Cols {
+		panic(fmt.Sprintf("align: embedding dims differ: %d vs %d", hs.Cols, ht.Cols))
+	}
+	a, b := hs.Clone(), ht.Clone()
+	a.CenterRows()
+	a.NormalizeRows()
+	b.CenterRows()
+	b.NormalizeRows()
+	return dense.MulBT(a, b)
+}
+
+// topMean returns the mean of the m largest values in xs. When xs has
+// fewer than m entries the mean of all of them is returned; m ≤ 0 yields
+// 0.
+func topMean(xs []float64, m int, buf []float64) float64 {
+	if m <= 0 || len(xs) == 0 {
+		return 0
+	}
+	if m >= len(xs) {
+		var s float64
+		for _, v := range xs {
+			s += v
+		}
+		return s / float64(len(xs))
+	}
+	buf = append(buf[:0], xs...)
+	quickSelectDesc(buf, m)
+	var s float64
+	for _, v := range buf[:m] {
+		s += v
+	}
+	return s / float64(m)
+}
+
+// quickSelectDesc partially sorts xs so that its first m entries are the m
+// largest (in arbitrary order).
+func quickSelectDesc(xs []float64, m int) {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		p := partitionDesc(xs, lo, hi)
+		switch {
+		case p == m-1:
+			return
+		case p < m-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+func partitionDesc(xs []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three pivot defends against adversarial (sorted) input.
+	if xs[mid] > xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] > xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[hi] > xs[mid] {
+		xs[hi], xs[mid] = xs[mid], xs[hi]
+	}
+	pivot := xs[mid]
+	xs[mid], xs[hi] = xs[hi], xs[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if xs[i] > pivot {
+			xs[i], xs[store] = xs[store], xs[i]
+			store++
+		}
+	}
+	xs[store], xs[hi] = xs[hi], xs[store]
+	return store
+}
+
+// HubnessDegrees computes Dt (per source node: mean similarity to its m
+// nearest target neighbours) and Ds (per target node, symmetric) from a
+// similarity matrix, per Eq. 10.
+func HubnessDegrees(corr *dense.Matrix, m int) (dt, ds []float64) {
+	dt = make([]float64, corr.Rows)
+	ds = make([]float64, corr.Cols)
+	buf := make([]float64, corr.Cols)
+	for i := 0; i < corr.Rows; i++ {
+		dt[i] = topMean(corr.Row(i), m, buf)
+	}
+	col := make([]float64, corr.Rows)
+	if len(col) > len(buf) {
+		buf = make([]float64, len(col))
+	}
+	for j := 0; j < corr.Cols; j++ {
+		for i := 0; i < corr.Rows; i++ {
+			col[i] = corr.At(i, j)
+		}
+		ds[j] = topMean(col, m, buf)
+	}
+	return dt, ds
+}
+
+// LISI converts a similarity matrix into the locally isolated similarity
+// index of Eq. 11: LISI(i,j) = 2·corr(i,j) − Dt(i) − Ds(j). High values
+// mark pairs that are mutually similar yet locally isolated, which
+// suppresses hub nodes.
+func LISI(corr *dense.Matrix, m int) *dense.Matrix {
+	dt, ds := HubnessDegrees(corr, m)
+	out := dense.New(corr.Rows, corr.Cols)
+	for i := 0; i < corr.Rows; i++ {
+		src := corr.Row(i)
+		dst := out.Row(i)
+		di := dt[i]
+		for j, v := range src {
+			dst[j] = 2*v - di - ds[j]
+		}
+	}
+	return out
+}
+
+// TrustedPairs returns the mutual-nearest-neighbour pairs of an alignment
+// matrix (Eq. 12): (i, j) is trusted iff j = argmax_j M(i,·) and
+// i = argmax_i M(·,j). Pairs are returned in increasing source order.
+func TrustedPairs(m *dense.Matrix) [][2]int {
+	if m.Rows == 0 || m.Cols == 0 {
+		return nil
+	}
+	rowBest := m.ArgmaxRows()
+	colBest := make([]int, m.Cols)
+	colVal := make([]float64, m.Cols)
+	for j := range colVal {
+		colVal[j] = m.At(0, j)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if v > colVal[j] {
+				colVal[j] = v
+				colBest[j] = i
+			}
+		}
+	}
+	var pairs [][2]int
+	for i, j := range rowBest {
+		if colBest[j] == i {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,134 @@
+package align
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// Candidates holds, for every query node, its k most similar nodes on the
+// other side with their Pearson similarities, in descending score order.
+// It is the memory-bounded alternative to the full ns×nt similarity
+// matrix: O(n·k) instead of O(n²), computed in row blocks.
+type Candidates struct {
+	K int
+	// Idx[i] lists the candidate ids of query i, best first.
+	Idx [][]int32
+	// Score[i] holds the matching similarities.
+	Score [][]float64
+}
+
+// TopKCandidates computes the top-k Pearson-similar target rows for every
+// source row without materialising more than a block of the similarity
+// matrix at a time.
+func TopKCandidates(hs, ht *dense.Matrix, k int) *Candidates {
+	if k < 1 {
+		panic(fmt.Sprintf("align: TopKCandidates k = %d < 1", k))
+	}
+	if k > ht.Rows {
+		k = ht.Rows
+	}
+	a, b := hs.Clone(), ht.Clone()
+	a.CenterRows()
+	a.NormalizeRows()
+	b.CenterRows()
+	b.NormalizeRows()
+
+	out := &Candidates{
+		K:     k,
+		Idx:   make([][]int32, hs.Rows),
+		Score: make([][]float64, hs.Rows),
+	}
+	const blockRows = 256
+	for start := 0; start < a.Rows; start += blockRows {
+		end := start + blockRows
+		if end > a.Rows {
+			end = a.Rows
+		}
+		block := &dense.Matrix{Rows: end - start, Cols: a.Cols, Data: a.Data[start*a.Cols : end*a.Cols]}
+		sim := dense.MulBT(block, b)
+		for r := 0; r < sim.Rows; r++ {
+			idx, score := selectTopK(sim.Row(r), k)
+			out.Idx[start+r] = idx
+			out.Score[start+r] = score
+		}
+	}
+	return out
+}
+
+// selectTopK returns the indices and values of the k largest entries of
+// row, descending. Ties resolve to lower indices for determinism.
+func selectTopK(row []float64, k int) ([]int32, []float64) {
+	idx := make([]int32, len(row))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+	idx = idx[:k]
+	outIdx := append([]int32(nil), idx...)
+	score := make([]float64, k)
+	for i, j := range outIdx {
+		score[i] = row[j]
+	}
+	return outIdx, score
+}
+
+// SparseLISI evaluates the LISI score only on candidate pairs: forward
+// holds source→target candidates, backward target→source. The hubness
+// degrees of Eq. 10 are estimated from each side's own top-m candidate
+// scores — exact whenever k ≥ m. It returns, for every source node, its
+// best candidate by LISI (−1 when the node has no candidates).
+func SparseLISI(forward, backward *Candidates, m int) []int {
+	dt := topMeans(forward, m)
+	ds := topMeans(backward, m)
+	best := make([]int, len(forward.Idx))
+	for i, cands := range forward.Idx {
+		best[i] = -1
+		bestScore := 0.0
+		for c, j := range cands {
+			score := 2*forward.Score[i][c] - dt[i] - ds[j]
+			if best[i] < 0 || score > bestScore {
+				best[i], bestScore = int(j), score
+			}
+		}
+	}
+	return best
+}
+
+// TrustedPairsTopK returns the mutual-best pairs under SparseLISI: (i, j)
+// is trusted iff j is i's best candidate and i is j's best candidate, each
+// judged by LISI in its own direction. With k = n it reproduces the dense
+// TrustedPairs(LISI(corr, m)).
+func TrustedPairsTopK(forward, backward *Candidates, m int) [][2]int {
+	fb := SparseLISI(forward, backward, m)
+	bb := SparseLISI(backward, forward, m)
+	var pairs [][2]int
+	for i, j := range fb {
+		if j >= 0 && bb[j] == i {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return pairs
+}
+
+// topMeans returns, per query, the mean of its top-m candidate scores (the
+// hubness degree estimate).
+func topMeans(c *Candidates, m int) []float64 {
+	out := make([]float64, len(c.Score))
+	for i, scores := range c.Score {
+		lim := m
+		if lim > len(scores) {
+			lim = len(scores)
+		}
+		if lim == 0 {
+			continue
+		}
+		var s float64
+		for _, v := range scores[:lim] {
+			s += v
+		}
+		out[i] = s / float64(lim)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/metrics"
+	"github.com/htc-align/htc/internal/orbit"
+)
+
+func TestGREATShapesAndRange(t *testing.T) {
+	gs, gt, _ := alignedPair(25, 30)
+	m, err := GREAT{}.Align(gs, gt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 25 || m.Cols != 25 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	for _, v := range m.Data {
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("similarity %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestGREATAlignsStructurallyDistinctGraph(t *testing.T) {
+	// On a graph with strongly heterogeneous local structure the
+	// signature alone should align most nodes of an isomorphic copy.
+	rng := rand.New(rand.NewSource(31))
+	gs := graph.PreferentialAttachment(50, 3, rng)
+	perm := graph.Permutation(50, rng)
+	gt := graph.Relabel(gs, perm)
+	m, err := GREAT{}.Align(gs, gt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := metrics.Evaluate(m, metrics.FromPerm(perm), 1).PrecisionAt[1]
+	t.Logf("GREAT p@1 = %.3f on isomorphic PA graph", p1)
+	if p1 < 0.3 {
+		t.Errorf("p@1 = %.3f, want ≥ 0.3", p1)
+	}
+}
+
+func TestGREATIdenticalSignaturesScoreOne(t *testing.T) {
+	// Two isomorphic stars: all leaves share a signature, so leaf–leaf
+	// similarity must be exactly exp(0) = 1 (no attributes involved).
+	mk := func() *graph.Graph {
+		b := graph.NewBuilder(5)
+		for i := 1; i < 5; i++ {
+			b.AddEdge(0, i)
+		}
+		return b.Build()
+	}
+	m, err := GREAT{}.Align(mk(), mk(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 2) != 1 {
+		t.Fatalf("leaf-leaf similarity = %v, want 1", m.At(1, 2))
+	}
+	// Hub vs leaf must score strictly lower.
+	if m.At(0, 1) >= m.At(0, 0) {
+		t.Fatalf("hub-leaf %v not below hub-hub %v", m.At(0, 1), m.At(0, 0))
+	}
+}
+
+func TestGREATOrbitTruncation(t *testing.T) {
+	gs, gt, _ := alignedPair(20, 32)
+	for _, k := range []int{1, 5, orbit.NumOrbits, 99} {
+		if _, err := (GREAT{Orbits: k}).Align(gs, gt, nil); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestEdgeDegreeVectors(t *testing.T) {
+	// Triangle: each node has two incident edges, each on orbit 0 once
+	// and orbit 2 once → signature [2, 0, 2, ...].
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	f := edgeDegreeVectors(b.Build(), 3)
+	for i := 0; i < 3; i++ {
+		if f.At(i, 0) != 2 || f.At(i, 1) != 0 || f.At(i, 2) != 2 {
+			t.Fatalf("node %d signature = %v", i, f.Row(i))
+		}
+	}
+}

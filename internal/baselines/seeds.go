@@ -1,0 +1,29 @@
+package baselines
+
+import "math/rand"
+
+// SampleSeeds draws a fraction of the ground-truth anchors as supervision
+// for the supervised baselines, reproducing the paper's protocol of
+// granting IsoRank, FINAL, PALE and CENALP 10% of ground truth.
+// truth[s] = t (or −1 for unanchored source nodes).
+func SampleSeeds(truth []int, frac float64, seed int64) []Anchor {
+	var anchored []Anchor
+	for s, t := range truth {
+		if t >= 0 {
+			anchored = append(anchored, Anchor{s, t})
+		}
+	}
+	if frac >= 1 {
+		return anchored
+	}
+	if frac <= 0 || len(anchored) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(anchored), func(i, j int) { anchored[i], anchored[j] = anchored[j], anchored[i] })
+	n := int(float64(len(anchored)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	return anchored[:n]
+}

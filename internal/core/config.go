@@ -1,0 +1,166 @@
+// Package core orchestrates the full HTC pipeline (paper Fig. 3): graphlet
+// orbit matrix construction → multi-orbit-aware training of a shared GCN
+// autoencoder → trusted-pair based fine-tuning per orbit → posterior
+// importance integration into the final alignment matrix. The ablation
+// variants of Table III (HTC-L/H/LT/DT) are configurations of the same
+// pipeline.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/htc-align/htc/internal/orbit"
+)
+
+// Variant selects which ablation of the pipeline runs.
+type Variant int
+
+// The pipeline variants of the paper's Table III.
+const (
+	// Full is HTC(-HT): all orbits, trusted-pair fine-tuning.
+	Full Variant = iota
+	// LowOrder is HTC-L: orbit 0 only, no fine-tuning.
+	LowOrder
+	// HighOrder is HTC-H: all orbits, no fine-tuning.
+	HighOrder
+	// LowOrderFT is HTC-LT: orbit 0 only, with fine-tuning.
+	LowOrderFT
+	// DiffusionFT is HTC-DT: diffusion matrices replace GOMs, with
+	// fine-tuning.
+	DiffusionFT
+)
+
+// String names the variant as in the paper.
+func (v Variant) String() string {
+	switch v {
+	case Full:
+		return "HTC"
+	case LowOrder:
+		return "HTC-L"
+	case HighOrder:
+		return "HTC-H"
+	case LowOrderFT:
+		return "HTC-LT"
+	case DiffusionFT:
+		return "HTC-DT"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+func (v Variant) usesOrbits() bool   { return v == Full || v == HighOrder }
+func (v Variant) usesFineTune() bool { return v == Full || v == LowOrderFT || v == DiffusionFT }
+
+// Config holds the pipeline hyperparameters. The zero value is completed
+// by withDefaults to the paper's settings (§V-A), except that the default
+// embedding width is scaled to laptop-sized graphs.
+type Config struct {
+	// Variant selects the ablation (default Full).
+	Variant Variant
+	// K is the number of orbits (default and maximum 13; ignored by
+	// LowOrder* variants, reused as diffusion order count by
+	// DiffusionFT).
+	K int
+	// Hidden and Embed are the GCN widths: dims = [d, Hidden, Embed].
+	// Defaults 128 and 64.
+	Hidden, Embed int
+	// Layers is the number of GCN layers, 2 or 3 (default 2, the paper's
+	// best setting).
+	Layers int
+	// Epochs is the number of training epochs (default 60).
+	Epochs int
+	// Patience, when positive, stops training early once the loss stops
+	// improving for that many epochs (0 = train the full budget, as in
+	// the paper).
+	Patience int
+	// LR is the Adam learning rate (default 0.01, as in the paper).
+	LR float64
+	// M is the LISI neighbourhood size (default 20).
+	M int
+	// Beta is the trusted-pair reinforcement rate (default 1.1).
+	Beta float64
+	// Binary switches the GOMs to their weaker binary form.
+	Binary bool
+	// MaxFineTuneIters caps Algorithm 2's loop (default 30).
+	MaxFineTuneIters int
+	// DiffusionAlpha is the PPR teleport probability of HTC-DT
+	// (default 0.15, the paper's best).
+	DiffusionAlpha float64
+	// Seed drives every random choice (weight init); equal seeds give
+	// bit-identical runs.
+	Seed int64
+	// KeepEmbeddings retains the per-orbit embeddings of each orbit's
+	// best fine-tuning iteration in the Result (memory-heavy; used by
+	// the Fig. 11 visualisation).
+	KeepEmbeddings bool
+	// Seeds are known anchor links (source, target). HTC is fully
+	// unsupervised, but Proposition 2 treats "trusted (or known)" anchor
+	// nodes uniformly: when seeds are supplied they are reinforced
+	// before the first fine-tuning iteration, giving the semi-supervised
+	// HTC-S mode. Variants without fine-tuning ignore them.
+	Seeds [][2]int
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 || c.K > orbit.NumOrbits {
+		c.K = orbit.NumOrbits
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 128
+	}
+	if c.Embed <= 0 {
+		c.Embed = 64
+	}
+	if c.Layers != 3 {
+		c.Layers = 2
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.M <= 0 {
+		c.M = 20
+	}
+	if c.Beta <= 1 {
+		c.Beta = 1.1
+	}
+	if c.MaxFineTuneIters <= 0 {
+		c.MaxFineTuneIters = 30
+	}
+	if c.DiffusionAlpha <= 0 || c.DiffusionAlpha >= 1 {
+		c.DiffusionAlpha = 0.15
+	}
+	return c
+}
+
+// StageTimings decomposes a run's wall-clock time into the stages of the
+// paper's Fig. 8.
+type StageTimings struct {
+	OrbitCounting time.Duration
+	Laplacians    time.Duration
+	Training      time.Duration
+	FineTuning    time.Duration
+	Integration   time.Duration
+	Total         time.Duration
+}
+
+// Other returns the residual time not attributed to a named stage
+// (feature preparation and bookkeeping).
+func (s StageTimings) Other() time.Duration {
+	o := s.Total - s.OrbitCounting - s.Laplacians - s.Training - s.FineTuning - s.Integration
+	if o < 0 {
+		return 0
+	}
+	return o
+}
+
+// String renders the decomposition in milliseconds.
+func (s StageTimings) String() string {
+	return fmt.Sprintf("orbit=%v laplacian=%v train=%v finetune=%v integrate=%v other=%v total=%v",
+		s.OrbitCounting.Round(time.Millisecond), s.Laplacians.Round(time.Millisecond),
+		s.Training.Round(time.Millisecond), s.FineTuning.Round(time.Millisecond),
+		s.Integration.Round(time.Millisecond), s.Other().Round(time.Millisecond),
+		s.Total.Round(time.Millisecond))
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/htc-align/htc/internal/align"
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/diffusion"
+	"github.com/htc-align/htc/internal/gom"
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/nn"
+	"github.com/htc-align/htc/internal/orbit"
+)
+
+// ErrAttrMismatch reports incompatible attribute spaces between the two
+// input graphs.
+var ErrAttrMismatch = errors.New("core: source and target attribute dimensions differ")
+
+// ErrBadAttrs reports non-finite (NaN/Inf) attribute values, which would
+// silently poison training.
+var ErrBadAttrs = errors.New("core: attributes contain non-finite values")
+
+// OrbitOutcome summarises one orbit's contribution to the final alignment.
+type OrbitOutcome struct {
+	// Orbit is the orbit index (or diffusion order for HTC-DT).
+	Orbit int
+	// Trusted is the maximal trusted-pair count Tmax of Algorithm 2.
+	Trusted int
+	// Gamma is the posterior importance weight γk of Eq. 15.
+	Gamma float64
+	// Iters is the number of fine-tuning iterations run (1 when
+	// fine-tuning is disabled).
+	Iters int
+}
+
+// Result is the output of one pipeline run.
+type Result struct {
+	// M is the final ns×nt alignment matrix (higher scores mean more
+	// likely anchors).
+	M *dense.Matrix
+	// PerOrbit reports each orbit's trusted-pair count and weight,
+	// ordered by orbit index — the data behind the paper's Fig. 6.
+	PerOrbit []OrbitOutcome
+	// Timings decomposes the run's wall-clock cost (Fig. 8).
+	Timings StageTimings
+	// LossHistory is the training loss Γ per epoch.
+	LossHistory []float64
+	// SourceEmbeddings and TargetEmbeddings hold the per-orbit node
+	// embeddings of each orbit's best fine-tuning iteration. They are
+	// populated only when Config.KeepEmbeddings is set (the Fig. 11
+	// visualisation uses them) to keep normal runs lean.
+	SourceEmbeddings, TargetEmbeddings []*dense.Matrix
+}
+
+// Predict returns, for every source node, the target node with the highest
+// alignment score. Different source nodes may map to the same target; use
+// MatchOneToOne for an injective assignment.
+func (r *Result) Predict() []int { return r.M.ArgmaxRows() }
+
+// MatchOneToOne extracts an injective assignment from the alignment
+// matrix: the exact Hungarian optimum up to 1500×1500 scores, the greedy
+// 1/2-approximation beyond (the O(n³) exact solve stops being worth it).
+func (r *Result) MatchOneToOne() []int {
+	if r.M.Rows*r.M.Cols > 1500*1500 {
+		return align.GreedyMatch(r.M)
+	}
+	return align.HungarianMatch(r.M)
+}
+
+// Align runs the configured HTC pipeline on a source and target graph.
+// Graphs without attributes are given structural surrogate features; when
+// only one side has attributes, or the dimensions differ, Align fails with
+// ErrAttrMismatch (alignment assumes a shared attribute space).
+func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	xs, xt, err := featurePair(gs, gt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+
+	// Stage 1: edge-orbit counting (only the orbit-based variants pay
+	// for it).
+	var countsS, countsT *orbit.Counts
+	if cfg.Variant.usesOrbits() {
+		t0 := time.Now()
+		countsS = orbit.Count(gs)
+		countsT = orbit.Count(gt)
+		res.Timings.OrbitCounting = time.Since(t0)
+	}
+
+	// Stage 2: aggregation matrices (GOM Laplacians or alternatives).
+	t0 := time.Now()
+	var setS, setT *gom.Set
+	switch {
+	case cfg.Variant.usesOrbits():
+		setS = gom.Build(gs, countsS, cfg.K, cfg.Binary)
+		setT = gom.Build(gt, countsT, cfg.K, cfg.Binary)
+	case cfg.Variant == DiffusionFT:
+		order := cfg.K
+		if order > 5 {
+			order = 5 // the paper's best HTC-DT uses k = 5
+		}
+		setS = gom.FromMatrices(diffusion.Matrices(gs, order, cfg.DiffusionAlpha, 1e-4))
+		setT = gom.FromMatrices(diffusion.Matrices(gt, order, cfg.DiffusionAlpha, 1e-4))
+	default: // LowOrder, LowOrderFT
+		setS = gom.LowOrder(gs)
+		setT = gom.LowOrder(gt)
+	}
+	res.Timings.Laplacians = time.Since(t0)
+
+	// Stage 3: multi-orbit-aware training (Algorithm 1).
+	t0 = time.Now()
+	src := &nn.GraphData{Laps: setS.Laplacians, X: xs}
+	tgt := &nn.GraphData{Laps: setT.Laplacians, X: xt}
+	enc := newEncoder(cfg, xs.Cols)
+	res.LossHistory = nn.Train(enc, src, tgt, nn.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Patience: cfg.Patience})
+	res.Timings.Training = time.Since(t0)
+
+	// Stage 4: per-orbit alignment matrices, fine-tuned when the variant
+	// calls for it (Algorithm 2).
+	t0 = time.Now()
+	k := setS.K()
+	ms := make([]*dense.Matrix, k)
+	trusted := make([]int, k)
+	res.PerOrbit = make([]OrbitOutcome, k)
+	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds}
+	if !cfg.Variant.usesFineTune() {
+		ftCfg.MaxIters = 1 // single pass: score + trusted count, no reinforcement rounds
+		ftCfg.KnownPairs = nil
+	}
+	if cfg.KeepEmbeddings {
+		res.SourceEmbeddings = make([]*dense.Matrix, k)
+		res.TargetEmbeddings = make([]*dense.Matrix, k)
+	}
+	for i := 0; i < k; i++ {
+		ft := align.FineTune(enc, setS.Laplacians[i], setT.Laplacians[i], xs, xt, ftCfg)
+		ms[i] = ft.M
+		trusted[i] = ft.Trusted
+		res.PerOrbit[i] = OrbitOutcome{Orbit: i, Trusted: ft.Trusted, Iters: ft.Iters}
+		if cfg.KeepEmbeddings {
+			res.SourceEmbeddings[i] = ft.Hs
+			res.TargetEmbeddings[i] = ft.Ht
+		}
+	}
+	res.Timings.FineTuning = time.Since(t0)
+
+	// Stage 5: posterior importance integration (Eq. 15).
+	t0 = time.Now()
+	m, gammas := align.Integrate(ms, trusted)
+	for i := range res.PerOrbit {
+		res.PerOrbit[i].Gamma = gammas[i]
+	}
+	res.M = m
+	res.Timings.Integration = time.Since(t0)
+
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+func newEncoder(cfg Config, inDim int) *nn.Encoder {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dims := []int{inDim, cfg.Hidden, cfg.Embed}
+	acts := []nn.Activation{nn.Tanh{}, nn.Tanh{}}
+	if cfg.Layers == 3 {
+		dims = []int{inDim, cfg.Hidden, cfg.Hidden, cfg.Embed}
+		acts = []nn.Activation{nn.Tanh{}, nn.Tanh{}, nn.Tanh{}}
+	}
+	return nn.NewEncoder(dims, acts, rng)
+}
+
+// featurePair resolves the attribute matrices of both graphs. When neither
+// graph carries attributes, degree-based surrogate features are generated
+// so that purely structural alignment still works.
+func featurePair(gs, gt *graph.Graph) (*dense.Matrix, *dense.Matrix, error) {
+	switch {
+	case gs.Attrs() == nil && gt.Attrs() == nil:
+		return structuralFeatures(gs), structuralFeatures(gt), nil
+	case gs.Attrs() == nil || gt.Attrs() == nil:
+		return nil, nil, fmt.Errorf("%w: one graph has attributes, the other does not", ErrAttrMismatch)
+	case gs.Attrs().Cols != gt.Attrs().Cols:
+		return nil, nil, fmt.Errorf("%w: %d vs %d", ErrAttrMismatch, gs.Attrs().Cols, gt.Attrs().Cols)
+	}
+	for _, x := range [2]*dense.Matrix{gs.Attrs(), gt.Attrs()} {
+		for _, v := range x.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, ErrBadAttrs
+			}
+		}
+	}
+	return gs.Attrs(), gt.Attrs(), nil
+}
+
+// structuralFeatures builds permutation-equivariant surrogate attributes:
+// a constant channel, normalised degree and log-degree. Using only
+// structural quantities keeps Proposition 1 applicable when no shared
+// attribute space exists.
+func structuralFeatures(g *graph.Graph) *dense.Matrix {
+	x := dense.New(g.N(), 3)
+	maxDeg := float64(g.MaxDegree())
+	if maxDeg == 0 {
+		maxDeg = 1
+	}
+	for i := 0; i < g.N(); i++ {
+		d := float64(g.Degree(i))
+		row := x.Row(i)
+		row[0] = 1
+		row[1] = d / maxDeg
+		row[2] = math.Log1p(d) / math.Log1p(maxDeg)
+	}
+	return x
+}

@@ -1,0 +1,56 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestPPIBasics(t *testing.T) {
+	g := PPI(500, 1)
+	if g.N() != 500 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if g.Attrs() == nil || g.Attrs().Cols != 16 {
+		t.Fatal("missing 16-dim sequence profiles")
+	}
+	// Duplication–divergence yields sparse graphs with heavy-tailed
+	// degrees.
+	if d := g.AvgDegree(); d < 1 || d > 12 {
+		t.Fatalf("avg degree = %.2f, implausible for PPI", d)
+	}
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("no hub proteins: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestPPINoIsolatedProteins(t *testing.T) {
+	g := PPI(300, 2)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			t.Fatalf("protein %d has no interactions", v)
+		}
+	}
+}
+
+func TestPPIDeterministic(t *testing.T) {
+	a, b := PPI(200, 7), PPI(200, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("PPI not deterministic")
+	}
+	if !a.Attrs().Equal(b.Attrs(), 0) {
+		t.Fatal("PPI attrs not deterministic")
+	}
+}
+
+func TestPPIClustered(t *testing.T) {
+	// Duplication creates shared neighbourhoods → triangles.
+	g := PPI(400, 3)
+	if tri := countTriangles(g); tri < 20 {
+		t.Fatalf("only %d triangles; duplication–divergence should cluster", tri)
+	}
+}
+
+func TestPPIDefaultSize(t *testing.T) {
+	if g := PPI(0, 4); g.N() != 1000 {
+		t.Fatalf("default n = %d, want 1000", g.N())
+	}
+}

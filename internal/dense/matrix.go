@@ -1,0 +1,225 @@
+// Package dense implements the dense linear-algebra kernel used throughout
+// the HTC reproduction: row-major float64 matrices with parallel GEMM,
+// elementwise operations, Gaussian solves and a Jacobi symmetric
+// eigensolver. It depends only on the standard library.
+//
+// The package favours explicit, allocation-conscious APIs: operations that
+// can work in place do so on the receiver, while operations that naturally
+// produce a new matrix are package functions returning a fresh value.
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values. The zero value is
+// not usable; construct matrices with New or the other constructors.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the entries in row-major order: element (i, j) is
+	// Data[i*Cols+j]. It is exported so hot loops can index directly.
+	Data []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equally sized rows. It copies
+// the input.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("dense: ragged row %d: got %d entries, want %d", i, len(row), c))
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice sharing the matrix's backing storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : i*m.Cols+m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies the contents of src into m. The shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.mustSameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+// Fill sets every entry of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Zero sets every entry of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies every entry of m by alpha.
+func (m *Matrix) Scale(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// Add adds b to m in place.
+func (m *Matrix) Add(b *Matrix) {
+	m.mustSameShape(b, "Add")
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub subtracts b from m in place.
+func (m *Matrix) Sub(b *Matrix) {
+	m.mustSameShape(b, "Sub")
+	for i, v := range b.Data {
+		m.Data[i] -= v
+	}
+}
+
+// AddScaled adds alpha*b to m in place.
+func (m *Matrix) AddScaled(b *Matrix, alpha float64) {
+	m.mustSameShape(b, "AddScaled")
+	for i, v := range b.Data {
+		m.Data[i] += alpha * v
+	}
+}
+
+// MulElem multiplies m elementwise by b (Hadamard product) in place.
+func (m *Matrix) MulElem(b *Matrix) {
+	m.mustSameShape(b, "MulElem")
+	for i, v := range b.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Apply replaces every entry x of m with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// T returns a transposed copy of m.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Dot returns the elementwise inner product ⟨m, b⟩ = Σ m(i,j)·b(i,j).
+func (m *Matrix) Dot(b *Matrix) float64 {
+	m.mustSameShape(b, "Dot")
+	var s float64
+	for i, v := range m.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// SumSquares returns Σ m(i,j)², the squared Frobenius norm.
+func (m *Matrix) SumSquares() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return s
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobNorm() float64 { return math.Sqrt(m.SumSquares()) }
+
+// MaxAbs returns the largest absolute entry of m, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports whether m and b have the same shape and all entries within
+// tol of each other.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large matrices are
+// abbreviated to their shape.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("dense.Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("dense.Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+func (m *Matrix) mustSameShape(b *Matrix, op string) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,244 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomMatrix(r, c int, rng *rand.Rand) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("FromRows content wrong: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty FromRows = %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At after Set = %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	row[0] = 5 // Row must alias backing storage.
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row does not alias backing storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	a.Add(b)
+	if a.At(1, 1) != 44 {
+		t.Fatalf("Add: %v", a)
+	}
+	a.Sub(b)
+	if a.At(1, 1) != 4 {
+		t.Fatalf("Sub: %v", a)
+	}
+	a.Scale(2)
+	if a.At(0, 1) != 4 {
+		t.Fatalf("Scale: %v", a)
+	}
+	a.AddScaled(b, 0.5)
+	if a.At(0, 0) != 2+5 {
+		t.Fatalf("AddScaled: %v", a)
+	}
+}
+
+func TestMulElemApply(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {3, -4}})
+	b := FromRows([][]float64{{2, 2}, {2, 2}})
+	a.MulElem(b)
+	if a.At(1, 1) != -8 {
+		t.Fatalf("MulElem: %v", a)
+	}
+	a.Apply(math.Abs)
+	if a.At(1, 1) != 8 || a.At(0, 1) != 4 {
+		t.Fatalf("Apply: %v", a)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("T: %v", at)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(1+rng.Intn(8), 1+rng.Intn(8), rng)
+		return m.T().T().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	a := FromRows([][]float64{{3, 4}})
+	if a.FrobNorm() != 5 {
+		t.Fatalf("FrobNorm = %v", a.FrobNorm())
+	}
+	if a.SumSquares() != 25 {
+		t.Fatalf("SumSquares = %v", a.SumSquares())
+	}
+	b := FromRows([][]float64{{1, 2}})
+	if a.Dot(b) != 11 {
+		t.Fatalf("Dot = %v", a.Dot(b))
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", a.MaxAbs())
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 3)
+	if a.Equal(b, 1) {
+		t.Fatal("Equal must reject different shapes")
+	}
+}
+
+func TestCopyFromAndFill(t *testing.T) {
+	a := New(2, 2)
+	b := FromRows([][]float64{{1, 2}, {3, 4}})
+	a.CopyFrom(b)
+	if !a.Equal(b, 0) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	a.Fill(7)
+	if a.At(1, 0) != 7 {
+		t.Fatal("Fill mismatch")
+	}
+	a.Zero()
+	if a.MaxAbs() != 0 {
+		t.Fatal("Zero mismatch")
+	}
+}
+
+func TestCenterRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {10, 10, 10}})
+	m.CenterRows()
+	if !almostEqual(m.At(0, 0), -1, 1e-12) || !almostEqual(m.At(0, 2), 1, 1e-12) {
+		t.Fatalf("CenterRows row0: %v", m.Row(0))
+	}
+	for j := 0; j < 3; j++ {
+		if m.At(1, j) != 0 {
+			t.Fatalf("CenterRows constant row: %v", m.Row(1))
+		}
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}, {0, 0}})
+	m.NormalizeRows()
+	if !almostEqual(m.At(0, 0), 0.6, 1e-12) || !almostEqual(m.At(0, 1), 0.8, 1e-12) {
+		t.Fatalf("NormalizeRows: %v", m.Row(0))
+	}
+	if m.At(1, 0) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("zero rows must stay zero")
+	}
+}
+
+func TestRowNormsAndScaleRows(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}, {1, 0}})
+	norms := m.RowNorms()
+	if !almostEqual(norms[0], 5, 1e-12) || !almostEqual(norms[1], 1, 1e-12) {
+		t.Fatalf("RowNorms = %v", norms)
+	}
+	m.ScaleRows([]float64{2, 3})
+	if m.At(0, 1) != 8 || m.At(1, 0) != 3 {
+		t.Fatalf("ScaleRows: %v", m)
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 9, 2}, {-5, -1, -9}})
+	got := m.ArgmaxRows()
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("ArgmaxRows = %v", got)
+	}
+}
+
+func TestXavierDeterministicAndBounded(t *testing.T) {
+	a := Xavier(20, 30, rand.New(rand.NewSource(1)))
+	b := Xavier(20, 30, rand.New(rand.NewSource(1)))
+	if !a.Equal(b, 0) {
+		t.Fatal("Xavier not deterministic for equal seeds")
+	}
+	bound := math.Sqrt(6.0 / 50.0)
+	if a.MaxAbs() > bound {
+		t.Fatalf("Xavier exceeds bound: %v > %v", a.MaxAbs(), bound)
+	}
+	if a.MaxAbs() == 0 {
+		t.Fatal("Xavier produced all zeros")
+	}
+}

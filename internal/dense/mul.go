@@ -1,0 +1,121 @@
+package dense
+
+import "fmt"
+
+// Mul returns the matrix product a·b. It panics if the inner dimensions do
+// not match. The computation is parallelised across rows of the result.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	MulInto(c, a, b)
+	return c
+}
+
+// MulInto computes c = a·b, overwriting c. The shapes must be compatible.
+func MulInto(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulInto dimension mismatch c=%dx%d a=%dx%d b=%dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	k, n := a.Cols, b.Cols
+	c.Zero()
+	parallelRows(a.Rows, k*n, func(start, end int) {
+		for i := start; i < end; i++ {
+			ci := c.Data[i*n : i*n+n]
+			ai := a.Data[i*k : i*k+k]
+			for l, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bl := b.Data[l*n : l*n+n]
+				for j, bv := range bl {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MulAT returns aᵀ·b for a (m×k) and b (m×n), producing a k×n matrix.
+func MulAT(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dense: MulAT dimension mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	k, n := a.Cols, b.Cols
+	c := New(k, n)
+	// Parallelise over output rows; each output row l gathers the strided
+	// column l of a. For the small k used by embedding dimensions this is
+	// cache-acceptable and race-free.
+	parallelRows(k, a.Rows*n, func(start, end int) {
+		for l := start; l < end; l++ {
+			cl := c.Data[l*n : l*n+n]
+			for i := 0; i < a.Rows; i++ {
+				av := a.Data[i*k+l]
+				if av == 0 {
+					continue
+				}
+				bi := b.Data[i*n : i*n+n]
+				for j, bv := range bi {
+					cl[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MulBT returns a·bᵀ for a (m×k) and b (n×k), producing an m×n matrix.
+// Both operands are traversed along rows, which makes this the preferred
+// kernel for similarity matrices between embedding sets.
+func MulBT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulBT dimension mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Rows)
+	MulBTInto(c, a, b)
+	return c
+}
+
+// MulBTInto computes c = a·bᵀ, overwriting c.
+func MulBTInto(c, a, b *Matrix) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MulBTInto dimension mismatch c=%dx%d a=%dx%d b=%dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	k := a.Cols
+	parallelRows(a.Rows, b.Rows*k, func(start, end int) {
+		for i := start; i < end; i++ {
+			ai := a.Data[i*k : i*k+k]
+			ci := c.Data[i*c.Cols : i*c.Cols+c.Cols]
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Data[j*k : j*k+k]
+				var s float64
+				for l, av := range ai {
+					s += av * bj[l]
+				}
+				ci[j] = s
+			}
+		}
+	})
+}
+
+// MulVec returns a·x for a (m×n) and a vector x of length n.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("dense: MulVec dimension mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	y := make([]float64, a.Rows)
+	parallelRows(a.Rows, a.Cols, func(start, end int) {
+		for i := start; i < end; i++ {
+			row := a.Row(i)
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] = s
+		}
+	})
+	return y
+}

@@ -1,0 +1,143 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMul is the reference O(n³) product used to validate the parallel
+// kernels.
+func naiveMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !c.Equal(want, 1e-12) {
+		t.Fatalf("Mul = %v, want %v", c, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(17, 17, rng)
+	if !Mul(a, Identity(17)).Equal(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !Mul(Identity(17), a).Equal(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randomMatrix(m, k, rng)
+		b := randomMatrix(k, n, rng)
+		return Mul(a, b).Equal(naiveMul(a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulATMatchesTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randomMatrix(m, k, rng)
+		b := randomMatrix(m, n, rng)
+		return MulAT(a, b).Equal(naiveMul(a.T(), b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulBTMatchesTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randomMatrix(m, k, rng)
+		b := randomMatrix(n, k, rng)
+		return MulBT(a, b).Equal(naiveMul(a, b.T()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulLargeParallelPath(t *testing.T) {
+	// Large enough to cross the parallel threshold in parallelRows.
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(120, 90, rng)
+	b := randomMatrix(90, 110, rng)
+	if !Mul(a, b).Equal(naiveMul(a, b), 1e-8) {
+		t.Fatal("parallel Mul disagrees with naive product")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := MulVec(a, []float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMulDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestMulIntoReusesBuffer(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}})
+	b := FromRows([][]float64{{2, 3}, {4, 5}})
+	c := New(2, 2)
+	c.Fill(99) // stale values must be overwritten
+	MulInto(c, a, b)
+	if !c.Equal(b, 1e-12) {
+		t.Fatalf("MulInto = %v, want %v", c, b)
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomMatrix(256, 256, rng)
+	y := randomMatrix(256, 256, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulBT256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomMatrix(256, 64, rng)
+	y := randomMatrix(256, 64, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulBT(x, y)
+	}
+}

@@ -1,0 +1,35 @@
+package dense
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelRows splits the half-open range [0, n) across GOMAXPROCS workers
+// and invokes fn(start, end) on each chunk. When the estimated per-row work
+// (cost) is too small to amortise goroutine startup, fn runs serially.
+func parallelRows(n, cost int, fn func(start, end int)) {
+	const minWork = 1 << 15
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n*cost < minWork {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CenterRows subtracts each row's mean from its entries, in place.
+// Row-centred matrices turn inner products into (unnormalised) covariance,
+// the first step of the Pearson correlation used by LISI.
+func (m *Matrix) CenterRows() {
+	if m.Cols == 0 {
+		return
+	}
+	inv := 1 / float64(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean *= inv
+		for j := range row {
+			row[j] -= mean
+		}
+	}
+}
+
+// NormalizeRows scales each row to unit L2 norm, in place. Rows with norm
+// below eps are left untouched (they would otherwise blow up to NaN).
+func (m *Matrix) NormalizeRows() {
+	const eps = 1e-12
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		if s < eps {
+			continue
+		}
+		inv := 1 / math.Sqrt(s)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// RowNorms returns the L2 norm of each row.
+func (m *Matrix) RowNorms() []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		out[i] = math.Sqrt(s)
+	}
+	return out
+}
+
+// ScaleRows multiplies row i of m by d[i], in place.
+func (m *Matrix) ScaleRows(d []float64) {
+	if len(d) != m.Rows {
+		panic("dense: ScaleRows length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		f := d[i]
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= f
+		}
+	}
+}
+
+// ArgmaxRows returns, for each row, the column index of its maximum entry.
+// Empty matrices return an empty slice; ties resolve to the lowest index.
+func (m *Matrix) ArgmaxRows() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bestV := 0, math.Inf(-1)
+		for j, v := range row {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Xavier returns an r×c matrix with entries drawn uniformly from
+// [−b, b] where b = sqrt(6/(r+c)), the Glorot/Xavier initialisation used
+// for the GCN encoder weights. The rng makes initialisation reproducible.
+func Xavier(r, c int, rng *rand.Rand) *Matrix {
+	m := New(r, c)
+	bound := math.Sqrt(6 / float64(r+c))
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * bound
+	}
+	return m
+}

@@ -1,0 +1,129 @@
+package diffusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/graph"
+)
+
+func TestMatricesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyi(20, 0.3, rng)
+	ms := Matrices(g, 4, 0.15, 1e-4)
+	if len(ms) != 4 {
+		t.Fatalf("got %d matrices, want 4", len(ms))
+	}
+	for i, m := range ms {
+		if m.Rows != 20 || m.Cols != 20 {
+			t.Fatalf("matrix %d has shape %dx%d", i, m.Rows, m.Cols)
+		}
+	}
+}
+
+func TestMatricesOrderGrowsSupport(t *testing.T) {
+	// Higher truncation order reaches more node pairs, so (with no
+	// thresholding) the support must be non-decreasing. This is the
+	// "densification" property the ablation discussion relies on.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, i+1) // path graph: powers reach farther each step
+	}
+	g := b.Build()
+	ms := Matrices(g, 4, 0.15, 0)
+	for i := 1; i < len(ms); i++ {
+		if ms[i].NNZ() < ms[i-1].NNZ() {
+			t.Fatalf("support shrank from order %d (%d) to %d (%d)",
+				i, ms[i-1].NNZ(), i+1, ms[i].NNZ())
+		}
+	}
+	// On a path, order 2 must connect nodes at distance 2.
+	if ms[1].At(0, 2) == 0 {
+		t.Fatal("order-2 diffusion missing distance-2 pair")
+	}
+}
+
+func TestMatricesDiagonalKept(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ErdosRenyi(15, 0.2, rng)
+	for _, m := range Matrices(g, 3, 0.15, 0.5) { // aggressive threshold
+		for i := 0; i < m.Rows; i++ {
+			if m.At(i, i) == 0 {
+				t.Fatalf("diagonal entry (%d,%d) was dropped", i, i)
+			}
+		}
+	}
+}
+
+func TestMatricesSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ErdosRenyi(12, 0.4, rng)
+	for k, m := range Matrices(g, 3, 0.2, 0) {
+		d := m.ToDense()
+		if !d.Equal(d.T(), 1e-12) {
+			t.Fatalf("order-%d diffusion not symmetric", k+1)
+		}
+	}
+}
+
+func TestMatricesThresholdSparsifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ErdosRenyi(30, 0.3, rng)
+	loose := Matrices(g, 3, 0.15, 0)
+	tight := Matrices(g, 3, 0.15, 1e-2)
+	if tight[2].NNZ() >= loose[2].NNZ() {
+		t.Fatalf("threshold did not sparsify: %d vs %d", tight[2].NNZ(), loose[2].NNZ())
+	}
+}
+
+func TestMatricesMassBound(t *testing.T) {
+	// Row sums of the untruncated PPR matrix are ≤ 1 for the symmetric
+	// kernel (equality only in the regular case); the truncated sums
+	// must stay below 1 + tolerance.
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ErdosRenyi(25, 0.3, rng)
+	ms := Matrices(g, 5, 0.15, 0)
+	last := ms[len(ms)-1]
+	for i, s := range last.RowSums() {
+		if s > 1+1e-9 {
+			t.Fatalf("row %d sum %v exceeds 1", i, s)
+		}
+		if s < 0 {
+			t.Fatalf("row %d sum negative: %v", i, s)
+		}
+	}
+	_ = math.Pi // keep math imported for future tolerance tweaks
+}
+
+func TestMatricesValidation(t *testing.T) {
+	g := graph.NewBuilder(2).Build()
+	for _, fn := range []func(){
+		func() { Matrices(g, 0, 0.15, 0) },
+		func() { Matrices(g, 2, 0, 0) },
+		func() { Matrices(g, 2, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIsolatedNodeRow(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	ms := Matrices(g, 2, 0.15, 0)
+	// Node 2 is isolated: its diffusion row is α on the diagonal.
+	if math.Abs(ms[1].At(2, 2)-0.15) > 1e-12 {
+		t.Fatalf("isolated diagonal = %v, want α", ms[1].At(2, 2))
+	}
+	if ms[1].At(2, 0) != 0 {
+		t.Fatal("isolated node leaked mass")
+	}
+}

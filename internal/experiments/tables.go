@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/htc-align/htc/internal/core"
+	"github.com/htc-align/htc/internal/datasets"
+	"github.com/htc-align/htc/internal/metrics"
+)
+
+// Table1 regenerates the dataset-statistics table (paper Table I) at the
+// requested scale.
+func Table1(o Options) ([]datasets.Stats, string) {
+	o = o.withDefaults()
+	movie := datasets.AllmovieImdb(o.size(800), o.Seed)
+	douban := datasets.Douban(o.size(900), o.Seed+1)
+	flickr := datasets.FlickrMyspace(o.size(1000), o.Seed+2)
+	econ := datasets.Econ(o.size(1258), o.Seed+3)
+	bn := datasets.BN(o.size(1781), o.Seed+4)
+	rows := []datasets.Stats{
+		datasets.StatsOf("Allmovie", movie.Source),
+		datasets.StatsOf("Imdb", movie.Target),
+		datasets.StatsOf("Douban Online", douban.Source),
+		datasets.StatsOf("Douban Offline", douban.Target),
+		datasets.StatsOf("Flickr", flickr.Source),
+		datasets.StatsOf("Myspace", flickr.Target),
+		datasets.StatsOf("Econ", econ),
+		datasets.StatsOf("BN", bn),
+	}
+	var b strings.Builder
+	b.WriteString("== Table I: dataset statistics ==\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%v\n", r)
+	}
+	return rows, b.String()
+}
+
+// Table2 regenerates the overall-effectiveness comparison (paper Table
+// II): every method on the three real-world pairs, supervised baselines
+// receiving 10% of ground truth.
+func Table2(o Options) ([]Cell, string, error) {
+	o = o.withDefaults()
+	var cells []Cell
+	for _, pair := range o.realWorldPairs() {
+		for _, m := range o.methods() {
+			cell, err := runMethod(m, pair, o.Seed+100)
+			if err != nil {
+				return nil, "", err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, renderTable("Table II: overall effectiveness", cells), nil
+}
+
+// Fig7 renders the runtime comparison of the paper's Fig. 7 from Table II
+// cells (the same runs; the paper excludes CENALP from the plot for being
+// off-scale, we keep it with a note).
+func Fig7(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("== Fig 7: runtime comparison (seconds) ==\n")
+	byDataset := map[string][]Cell{}
+	var order []string
+	for _, c := range cells {
+		if _, ok := byDataset[c.Dataset]; !ok {
+			order = append(order, c.Dataset)
+		}
+		byDataset[c.Dataset] = append(byDataset[c.Dataset], c)
+	}
+	for _, ds := range order {
+		fmt.Fprintf(&b, "\n-- %s --\n", ds)
+		for _, c := range byDataset[ds] {
+			bar := strings.Repeat("█", 1+int(c.Seconds))
+			fmt.Fprintf(&b, "%-8s %8.2fs %s\n", c.Method, c.Seconds, bar)
+		}
+	}
+	return b.String()
+}
+
+// AblationCell is one variant-on-dataset measurement of Table III.
+type AblationCell struct {
+	Variant string
+	Dataset string
+	P1, MRR float64
+}
+
+// Table3 regenerates the ablation study (paper Table III): the five
+// pipeline variants on Douban and Allmovie–Imdb, extended with the binary
+// GOM variant ("HTC-B") the paper's §IV-A argues is weaker than the
+// weighted form.
+func Table3(o Options) ([]AblationCell, string, error) {
+	o = o.withDefaults()
+	pairs := []*datasets.Pair{
+		datasets.Douban(o.size(900), o.Seed+1),
+		datasets.AllmovieImdb(o.size(800), o.Seed),
+	}
+	type variantDef struct {
+		name    string
+		variant core.Variant
+		binary  bool
+	}
+	variants := []variantDef{
+		{"HTC-L", core.LowOrder, false},
+		{"HTC-H", core.HighOrder, false},
+		{"HTC-LT", core.LowOrderFT, false},
+		{"HTC-DT", core.DiffusionFT, false},
+		{"HTC-B", core.Full, true},
+		{"HTC", core.Full, false},
+	}
+	var cells []AblationCell
+	for _, pair := range pairs {
+		for _, v := range variants {
+			cfg := o.htcConfig()
+			cfg.Variant = v.variant
+			cfg.Binary = v.binary
+			res, err := core.Align(pair.Source, pair.Target, cfg)
+			if err != nil {
+				return nil, "", fmt.Errorf("%v on %s: %w", v.name, pair.Name, err)
+			}
+			rep := metrics.Evaluate(res.M, pair.Truth, 1)
+			cells = append(cells, AblationCell{
+				Variant: v.name, Dataset: pair.Name,
+				P1: rep.PrecisionAt[1], MRR: rep.MRR,
+			})
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== Table III: ablation test ==\n")
+	b.WriteString(fmt.Sprintf("%-8s %-16s %8s %8s\n", "variant", "dataset", "p@1", "MRR"))
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-8s %-16s %8.4f %8.4f\n", c.Variant, c.Dataset, c.P1, c.MRR)
+	}
+	return cells, b.String(), nil
+}
+
+// Decomposition is one dataset's stage-timing breakdown (paper Fig. 8).
+type Decomposition struct {
+	Dataset string
+	Timings core.StageTimings
+}
+
+// Fig8 regenerates the runtime decomposition of HTC into its pipeline
+// stages on the three real-world pairs.
+func Fig8(o Options) ([]Decomposition, string, error) {
+	o = o.withDefaults()
+	var rows []Decomposition
+	for _, pair := range o.realWorldPairs() {
+		res, err := core.Align(pair.Source, pair.Target, o.htcConfig())
+		if err != nil {
+			return nil, "", fmt.Errorf("HTC on %s: %w", pair.Name, err)
+		}
+		rows = append(rows, Decomposition{Dataset: pair.Name, Timings: res.Timings})
+	}
+	var b strings.Builder
+	b.WriteString("== Fig 8: runtime decomposition of HTC ==\n")
+	fmt.Fprintf(&b, "%-16s %9s %9s %9s %9s %9s %9s\n",
+		"dataset", "orbit", "laplace", "train", "finetune", "integrate", "other")
+	for _, r := range rows {
+		t := r.Timings
+		fmt.Fprintf(&b, "%-16s %9s %9s %9s %9s %9s %9s\n", r.Dataset,
+			round(t.OrbitCounting), round(t.Laplacians), round(t.Training),
+			round(t.FineTuning), round(t.Integration), round(t.Other()))
+	}
+	return rows, b.String(), nil
+}
+
+func round(d time.Duration) string { return d.Round(time.Millisecond).String() }

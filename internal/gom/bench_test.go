@@ -1,0 +1,35 @@
+package gom
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/orbit"
+)
+
+// The stage benchmarks below mirror the Fig. 8 decomposition at the
+// component level: GOM construction is expected to be a small fraction of
+// orbit counting, which itself is small next to training.
+
+func BenchmarkBuildAllOrbits(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.PreferentialAttachment(1000, 4, rng)
+	counts := orbit.Count(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g, counts, orbit.NumOrbits, false)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.PreferentialAttachment(2000, 4, rng)
+	om := g.Adjacency()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Normalize(om)
+	}
+}

@@ -1,0 +1,139 @@
+// Package gom builds Graphlet Orbit Matrices (GOMs) and the modified,
+// symmetrically normalised Laplacians that drive HTC's orbit-weighted GCN
+// aggregation (paper §IV-A/B).
+//
+// For each orbit k, the GOM Ok holds the number of times every edge occurs
+// on orbit k (Eq. 1). The matrix is made self-connected with the modified
+// diagonal Ck of Eq. 3 — a node attends to itself as strongly as to its
+// most important neighbour — and normalised into
+// L̃k = F̃k^(−1/2)·(Ok+Ck)·F̃k^(−1/2) where F̃k is the diagonal frequency
+// matrix.
+package gom
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/orbit"
+	"github.com/htc-align/htc/internal/sparse"
+)
+
+// Set bundles the per-orbit matrices of one graph.
+type Set struct {
+	// Orbits[k] is the weighted (or binary) orbit adjacency Ok without
+	// self-connections.
+	Orbits []*sparse.CSR
+	// Laplacians[k] is the modified normalised Laplacian L̃k used for GCN
+	// aggregation.
+	Laplacians []*sparse.CSR
+}
+
+// K returns the number of orbits in the set.
+func (s *Set) K() int { return len(s.Laplacians) }
+
+// Build constructs the first k orbit matrices and Laplacians of g from
+// precomputed edge-orbit counts. With binary set, orbit occurrences are
+// clamped to 1 (the paper's weaker binary GOM variant).
+func Build(g *graph.Graph, counts *orbit.Counts, k int, binary bool) *Set {
+	if k < 1 || k > orbit.NumOrbits {
+		panic(fmt.Sprintf("gom: k = %d out of range [1,%d]", k, orbit.NumOrbits))
+	}
+	if counts.G != g {
+		panic("gom: counts were computed for a different graph")
+	}
+	s := &Set{
+		Orbits:     make([]*sparse.CSR, k),
+		Laplacians: make([]*sparse.CSR, k),
+	}
+	edges := g.Edges()
+	for o := 0; o < k; o++ {
+		entries := make([]sparse.Entry, 0, 2*len(edges))
+		for i, e := range edges {
+			c := counts.PerEdge[i][o]
+			if c == 0 {
+				continue
+			}
+			w := float64(c)
+			if binary {
+				w = 1
+			}
+			entries = append(entries,
+				sparse.Entry{Row: e[0], Col: e[1], Val: w},
+				sparse.Entry{Row: e[1], Col: e[0], Val: w})
+		}
+		om := sparse.FromEntries(g.N(), g.N(), entries)
+		s.Orbits[o] = om
+		s.Laplacians[o] = Normalize(om)
+	}
+	return s
+}
+
+// SelfConnection returns the modified self-connection diagonal of Eq. 3:
+// Ck(i,i) is the largest orbit weight among i's edges, or 1 when node i has
+// no orbit-k edges at all.
+func SelfConnection(om *sparse.CSR) []float64 {
+	diag := om.RowMax()
+	for i, v := range diag {
+		if v == 0 {
+			diag[i] = 1
+		}
+	}
+	return diag
+}
+
+// Normalize returns the modified symmetric normalised Laplacian
+// L̃ = F̃^(−1/2)·(O+C)·F̃^(−1/2) for an orbit matrix O.
+func Normalize(om *sparse.CSR) *sparse.CSR {
+	n := om.Rows
+	diag := SelfConnection(om)
+	// Õ = O + C: append the diagonal to the orbit entries.
+	entries := make([]sparse.Entry, 0, om.NNZ()+n)
+	for i := 0; i < n; i++ {
+		for p := om.RowPtr[i]; p < om.RowPtr[i+1]; p++ {
+			entries = append(entries, sparse.Entry{Row: int32(i), Col: om.ColIdx[p], Val: om.Val[p]})
+		}
+		entries = append(entries, sparse.Entry{Row: int32(i), Col: int32(i), Val: diag[i]})
+	}
+	modified := sparse.FromEntries(n, n, entries)
+	// Symmetric normalisation by the frequency diagonal F̃(i,i) = Σ_j Õ(i,j).
+	freq := modified.RowSums()
+	inv := make([]float64, n)
+	for i, f := range freq {
+		if f > 0 {
+			inv[i] = 1 / math.Sqrt(f)
+		}
+	}
+	return modified.DiagScale(inv, inv)
+}
+
+// LowOrder builds the single orbit-0 set (plain adjacency), the ablation
+// variant HTC-L uses. It avoids counting higher orbits entirely.
+func LowOrder(g *graph.Graph) *Set {
+	edges := g.Edges()
+	entries := make([]sparse.Entry, 0, 2*len(edges))
+	for _, e := range edges {
+		entries = append(entries,
+			sparse.Entry{Row: e[0], Col: e[1], Val: 1},
+			sparse.Entry{Row: e[1], Col: e[0], Val: 1})
+	}
+	om := sparse.FromEntries(g.N(), g.N(), entries)
+	return &Set{
+		Orbits:     []*sparse.CSR{om},
+		Laplacians: []*sparse.CSR{Normalize(om)},
+	}
+}
+
+// FromMatrices wraps arbitrary aggregation matrices (for example diffusion
+// matrices in the HTC-DT ablation) as a Set, normalising each one the same
+// way orbit matrices are normalised.
+func FromMatrices(ms []*sparse.CSR) *Set {
+	s := &Set{
+		Orbits:     ms,
+		Laplacians: make([]*sparse.CSR, len(ms)),
+	}
+	for i, m := range ms {
+		s.Laplacians[i] = Normalize(m)
+	}
+	return s
+}

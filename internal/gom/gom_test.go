@@ -1,0 +1,198 @@
+package gom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/orbit"
+	"github.com/htc-align/htc/internal/sparse"
+)
+
+func triangleWithTails() *graph.Graph {
+	// The Fig. 5 graph: triangle {0,1,2} with pendants 3←1 and 4←2.
+	b := graph.NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 4}} {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func TestBuildOrbit0IsAdjacency(t *testing.T) {
+	g := triangleWithTails()
+	s := Build(g, orbit.Count(g), 5, false)
+	adj := g.Adjacency()
+	if !s.Orbits[0].ToDense().Equal(adj.ToDense(), 0) {
+		t.Fatal("orbit-0 GOM must equal the adjacency matrix")
+	}
+}
+
+func TestBuildWeightedVsBinary(t *testing.T) {
+	g := triangleWithTails()
+	counts := orbit.Count(g)
+	weighted := Build(g, counts, 5, false)
+	binary := Build(g, counts, 5, true)
+
+	// Orbit 1 of edge (1,2) is 2 in the weighted form, clamped to 1 in
+	// the binary form (the paper's Fig. 5 discussion).
+	if weighted.Orbits[1].At(1, 2) != 2 {
+		t.Fatalf("weighted O1(1,2) = %v, want 2", weighted.Orbits[1].At(1, 2))
+	}
+	if binary.Orbits[1].At(1, 2) != 1 {
+		t.Fatalf("binary O1(1,2) = %v, want 1", binary.Orbits[1].At(1, 2))
+	}
+}
+
+func TestBuildSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ErdosRenyi(40, 0.2, rng)
+	s := Build(g, orbit.Count(g), orbit.NumOrbits, false)
+	for k, om := range s.Orbits {
+		d := om.ToDense()
+		if !d.Equal(d.T(), 0) {
+			t.Fatalf("orbit %d matrix not symmetric", k)
+		}
+		l := s.Laplacians[k].ToDense()
+		if !l.Equal(l.T(), 1e-12) {
+			t.Fatalf("orbit %d Laplacian not symmetric", k)
+		}
+	}
+}
+
+func TestSelfConnection(t *testing.T) {
+	// Row maxima become the diagonal; empty rows get 1 (Eq. 3).
+	om := sparse.FromEntries(3, 3, []sparse.Entry{
+		{Row: 0, Col: 1, Val: 4}, {Row: 1, Col: 0, Val: 4},
+		{Row: 0, Col: 2, Val: 2}, {Row: 2, Col: 0, Val: 2},
+	})
+	diag := SelfConnection(om)
+	if diag[0] != 4 || diag[1] != 4 || diag[2] != 2 {
+		t.Fatalf("SelfConnection = %v", diag)
+	}
+	empty := sparse.FromEntries(2, 2, nil)
+	diag = SelfConnection(empty)
+	if diag[0] != 1 || diag[1] != 1 {
+		t.Fatalf("isolated nodes must self-connect with 1, got %v", diag)
+	}
+}
+
+func TestNormalizeRowSumsOfIsolatedNode(t *testing.T) {
+	// An isolated node's Laplacian row must be exactly [.. 1 ..]: its
+	// only mass is the unit self-connection, normalised by itself.
+	om := sparse.FromEntries(3, 3, []sparse.Entry{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+	})
+	l := Normalize(om)
+	if math.Abs(l.At(2, 2)-1) > 1e-12 {
+		t.Fatalf("isolated node diagonal = %v, want 1", l.At(2, 2))
+	}
+}
+
+func TestNormalizeSpectralRadius(t *testing.T) {
+	// Symmetric normalisation bounds every entry by 1 and keeps row sums
+	// ≤ 1 in the frequency norm; a loose but useful sanity check is that
+	// all entries lie in [0, 1].
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ErdosRenyi(30, 0.3, rng)
+	s := Build(g, orbit.Count(g), orbit.NumOrbits, false)
+	for k, l := range s.Laplacians {
+		for _, v := range l.Val {
+			if v < 0 || v > 1+1e-12 {
+				t.Fatalf("orbit %d Laplacian entry %v out of [0,1]", k, v)
+			}
+		}
+	}
+}
+
+func TestNormalizeSpectralRadiusBound(t *testing.T) {
+	// The symmetric normalisation L̃ = F̃^(−1/2)·Õ·F̃^(−1/2) with
+	// non-negative Õ and row sums F̃ has spectral radius ≤ 1 — the
+	// property that prevents exploding activations in deep stacks.
+	rng := rand.New(rand.NewSource(23))
+	g := graph.ErdosRenyi(25, 0.3, rng)
+	s := Build(g, orbit.Count(g), 6, false)
+	for k, l := range s.Laplacians {
+		vals, _ := dense.SymEigen(l.ToDense())
+		if vals[0] > 1+1e-9 {
+			t.Fatalf("orbit %d spectral radius %v > 1", k, vals[0])
+		}
+		if vals[len(vals)-1] < -1-1e-9 {
+			t.Fatalf("orbit %d smallest eigenvalue %v < -1", k, vals[len(vals)-1])
+		}
+	}
+}
+
+func TestHigherOrbitsSparser(t *testing.T) {
+	// The paper's Fig. 10a discussion: higher-order orbit matrices are
+	// generally sparser than orbit 0 on sparse graphs.
+	rng := rand.New(rand.NewSource(11))
+	g := graph.PreferentialAttachment(200, 2, rng)
+	s := Build(g, orbit.Count(g), orbit.NumOrbits, false)
+	if s.Orbits[12].NNZ() > s.Orbits[0].NNZ() {
+		t.Fatalf("K4 orbit denser than adjacency: %d > %d", s.Orbits[12].NNZ(), s.Orbits[0].NNZ())
+	}
+}
+
+func TestLowOrder(t *testing.T) {
+	g := triangleWithTails()
+	s := LowOrder(g)
+	if s.K() != 1 {
+		t.Fatalf("LowOrder K = %d", s.K())
+	}
+	if !s.Orbits[0].ToDense().Equal(g.Adjacency().ToDense(), 0) {
+		t.Fatal("LowOrder orbit must be the adjacency matrix")
+	}
+	full := Build(g, orbit.Count(g), 1, false)
+	if !s.Laplacians[0].ToDense().Equal(full.Laplacians[0].ToDense(), 1e-12) {
+		t.Fatal("LowOrder Laplacian must match Build(.., 1, ..)")
+	}
+}
+
+func TestFromMatrices(t *testing.T) {
+	m := sparse.FromEntries(2, 2, []sparse.Entry{
+		{Row: 0, Col: 1, Val: 3}, {Row: 1, Col: 0, Val: 3},
+	})
+	s := FromMatrices([]*sparse.CSR{m})
+	if s.K() != 1 || s.Laplacians[0] == nil {
+		t.Fatal("FromMatrices did not normalise")
+	}
+	// Õ = [[3,3],[3,3]] (self-connection = row max = 3), F̃ = 6 → every
+	// entry of L̃ is 0.5.
+	l := s.Laplacians[0]
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(l.At(i, j)-0.5) > 1e-12 {
+				t.Fatalf("L(%d,%d) = %v, want 0.5", i, j, l.At(i, j))
+			}
+		}
+	}
+}
+
+func TestBuildPanicsOnBadK(t *testing.T) {
+	g := triangleWithTails()
+	counts := orbit.Count(g)
+	for _, k := range []int{0, orbit.NumOrbits + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			Build(g, counts, k, false)
+		}()
+	}
+}
+
+func TestBuildPanicsOnForeignCounts(t *testing.T) {
+	g1 := triangleWithTails()
+	g2 := triangleWithTails()
+	counts := orbit.Count(g1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for counts of a different graph")
+		}
+	}()
+	Build(g2, counts, 3, false)
+}

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(4)
+	if !b.AddEdge(0, 1) {
+		t.Fatal("first AddEdge(0,1) must report true")
+	}
+	if b.AddEdge(1, 0) {
+		t.Fatal("reversed duplicate must report false")
+	}
+	if b.AddEdge(2, 2) {
+		t.Fatal("self loop must report false")
+	}
+	if b.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", b.NumEdges())
+	}
+	g := b.Build()
+	if g.NumEdges() != 1 || g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("graph = %v", g)
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestNeighborsSortedAndSymmetric(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(3, 1)
+	b.AddEdge(3, 0)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	nbrs := g.Neighbors(3)
+	for i := 1; i < len(nbrs); i++ {
+		if nbrs[i-1] >= nbrs[i] {
+			t.Fatalf("neighbours not sorted: %v", nbrs)
+		}
+	}
+	if !g.HasEdge(1, 3) || !g.HasEdge(3, 1) {
+		t.Fatal("HasEdge must be symmetric")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(2, 2) {
+		t.Fatal("HasEdge false positives")
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(3, 2)
+	b.AddEdge(1, 0)
+	g := b.Build()
+	edges := g.Edges()
+	if edges[0] != [2]int32{0, 1} || edges[1] != [2]int32{2, 3} {
+		t.Fatalf("edges not canonical/sorted: %v", edges)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := pathGraph(4) // degrees 1,2,2,1
+	if g.AvgDegree() != 1.5 {
+		t.Fatalf("AvgDegree = %v", g.AvgDegree())
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %v", g.MaxDegree())
+	}
+	dv := g.DegreeVector()
+	if dv[0] != 1 || dv[1] != 2 {
+		t.Fatalf("DegreeVector = %v", dv)
+	}
+}
+
+func TestAdjacencyMatrix(t *testing.T) {
+	g := pathGraph(3)
+	a := g.Adjacency()
+	if a.At(0, 1) != 1 || a.At(1, 0) != 1 || a.At(1, 2) != 1 {
+		t.Fatal("Adjacency missing entries")
+	}
+	if a.At(0, 2) != 0 || a.At(0, 0) != 0 {
+		t.Fatal("Adjacency has spurious entries")
+	}
+	if a.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", a.NNZ())
+	}
+}
+
+func TestWithAttrs(t *testing.T) {
+	g := pathGraph(3)
+	attrs := dense.FromRows([][]float64{{1}, {2}, {3}})
+	g2 := g.WithAttrs(attrs)
+	if g.Attrs() != nil {
+		t.Fatal("WithAttrs mutated the original")
+	}
+	if g2.Attrs().At(2, 0) != 3 {
+		t.Fatal("attrs not attached")
+	}
+}
+
+func TestWithAttrsWrongRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong attr rows")
+		}
+	}()
+	pathGraph(3).WithAttrs(dense.New(2, 4))
+}
+
+func TestEdgeIndex(t *testing.T) {
+	g := pathGraph(4)
+	idx := g.EdgeIndex()
+	if len(idx) != 3 {
+		t.Fatalf("index size = %d", len(idx))
+	}
+	for i, e := range g.Edges() {
+		if idx[EdgeKey(int(e[0]), int(e[1]))] != i {
+			t.Fatalf("EdgeIndex wrong for %v", e)
+		}
+		if idx[EdgeKey(int(e[1]), int(e[0]))] != i {
+			t.Fatalf("EdgeIndex not canonical for reversed %v", e)
+		}
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := ErdosRenyi(200, 0.1, rng)
+	want := 0.1 * 199.0 // expected average degree
+	if g.AvgDegree() < want*0.7 || g.AvgDegree() > want*1.3 {
+		t.Fatalf("ER avg degree = %v, want ≈ %v", g.AvgDegree(), want)
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if g := ErdosRenyi(20, 0, rng); g.NumEdges() != 0 {
+		t.Fatal("p=0 must give empty graph")
+	}
+	if g := ErdosRenyi(20, 1, rng); g.NumEdges() != 20*19/2 {
+		t.Fatal("p=1 must give complete graph")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := PreferentialAttachment(300, 2, rng)
+	if g.N() != 300 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Roughly m·n edges and a hub much larger than the average degree.
+	if g.NumEdges() < 500 || g.NumEdges() > 650 {
+		t.Fatalf("edges = %d, want ≈ 600", g.NumEdges())
+	}
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("no hub: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		g := ErdosRenyi(n, 0.3, rng)
+		perm := Permutation(n, rng)
+		h := Relabel(g, perm)
+		if h.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !h.HasEdge(perm[e[0]], perm[e[1]]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelabelMovesAttrs(t *testing.T) {
+	g := pathGraph(3).WithAttrs(dense.FromRows([][]float64{{10}, {20}, {30}}))
+	h := Relabel(g, []int{2, 0, 1})
+	if h.Attrs().At(2, 0) != 10 || h.Attrs().At(0, 0) != 20 || h.Attrs().At(1, 0) != 30 {
+		t.Fatalf("attrs not moved: %v", h.Attrs())
+	}
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// The text format is line-oriented:
+//
+//	htc-graph <n> <m> <d>
+//	u v          (m edge lines)
+//	x0 x1 ... xd (n attribute lines, only when d > 0)
+//
+// Lines starting with '#' are comments and blank lines are skipped.
+
+const ioMagic = "htc-graph"
+
+// Write serialises g in the package's text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	d := 0
+	if g.Attrs() != nil {
+		d = g.Attrs().Cols
+	}
+	if _, err := fmt.Fprintf(bw, "%s %d %d %d\n", ioMagic, g.N(), g.NumEdges(), d); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	if d > 0 {
+		attrs := g.Attrs()
+		for i := 0; i < attrs.Rows; i++ {
+			row := attrs.Row(i)
+			for j, v := range row {
+				if j > 0 {
+					if err := bw.WriteByte(' '); err != nil {
+						return err
+					}
+				}
+				if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the package's text format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	header, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: missing header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 4 || fields[0] != ioMagic {
+		return nil, fmt.Errorf("graph: bad header %q", header)
+	}
+	n, err1 := strconv.Atoi(fields[1])
+	m, err2 := strconv.Atoi(fields[2])
+	d, err3 := strconv.Atoi(fields[3])
+	if err1 != nil || err2 != nil || err3 != nil || n < 0 || m < 0 || d < 0 {
+		return nil, fmt.Errorf("graph: bad header %q", header)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: bad line %q", i, line)
+		}
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("graph: edge %d: node out of range in %q", i, line)
+		}
+		b.AddEdge(u, v)
+	}
+	g := b.Build()
+	if d > 0 {
+		attrs := dense.New(n, d)
+		for i := 0; i < n; i++ {
+			line, err := nextLine(sc)
+			if err != nil {
+				return nil, fmt.Errorf("graph: attr row %d: %w", i, err)
+			}
+			vals := strings.Fields(line)
+			if len(vals) != d {
+				return nil, fmt.Errorf("graph: attr row %d has %d values, want %d", i, len(vals), d)
+			}
+			row := attrs.Row(i)
+			for j, s := range vals {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: attr row %d: %w", i, err)
+				}
+				row[j] = v
+			}
+		}
+		g = g.WithAttrs(attrs)
+	}
+	return g, nil
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

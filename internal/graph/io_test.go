@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := ErdosRenyi(30, 0.2, rng)
+	attrs := dense.New(30, 3)
+	for i := range attrs.Data {
+		attrs.Data[i] = rng.NormFloat64()
+	}
+	g = g.WithAttrs(attrs)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip shape: %v vs %v", got, g)
+	}
+	for _, e := range g.Edges() {
+		if !got.HasEdge(int(e[0]), int(e[1])) {
+			t.Fatalf("missing edge %v after round trip", e)
+		}
+	}
+	if !got.Attrs().Equal(g.Attrs(), 1e-12) {
+		t.Fatal("attrs differ after round trip")
+	}
+}
+
+func TestRoundTripNoAttrs(t *testing.T) {
+	g := pathGraph(5)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrs() != nil {
+		t.Fatal("expected nil attrs")
+	}
+	if got.NumEdges() != 4 {
+		t.Fatalf("edges = %d", got.NumEdges())
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nhtc-graph 3 1 0\n# edge below\n0 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 2) {
+		t.Fatal("edge not parsed")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad magic":      "nope 1 0 0\n",
+		"bad counts":     "htc-graph x 0 0\n",
+		"missing edge":   "htc-graph 3 2 0\n0 1\n",
+		"edge range":     "htc-graph 2 1 0\n0 9\n",
+		"short attrs":    "htc-graph 2 1 2\n0 1\n0.5\n0.1 0.2\n",
+		"missing attrs":  "htc-graph 2 0 1\n0.5\n",
+		"non-float attr": "htc-graph 1 0 1\nzz\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

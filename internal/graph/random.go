@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math/rand"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// ErdosRenyi samples a G(n, p) random graph. Every unordered node pair is
+// connected independently with probability p.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PreferentialAttachment grows a Barabási–Albert style graph: nodes arrive
+// one at a time and attach m edges to existing nodes chosen proportionally
+// to their current degree (plus one, so isolated seeds stay reachable).
+// The result has roughly m·n edges and a power-law degree tail — the
+// regime of the Douban social networks.
+func PreferentialAttachment(n, m int, rng *rand.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	b := NewBuilder(n)
+	// Repeated-node list: node i appears deg(i)+1 times, so sampling a
+	// uniform index implements degree-proportional selection.
+	targets := make([]int32, 0, 2*m*n)
+	for v := 0; v < n && v <= m; v++ {
+		for u := 0; u < v; u++ {
+			b.AddEdge(u, v)
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	start := m + 1
+	if start < 1 {
+		start = 1
+	}
+	for v := start; v < n; v++ {
+		added := 0
+		for attempts := 0; added < m && attempts < 50*m; attempts++ {
+			var u int
+			if len(targets) == 0 {
+				u = rng.Intn(v)
+			} else {
+				u = int(targets[rng.Intn(len(targets))])
+			}
+			if u != v && b.AddEdge(u, v) {
+				targets = append(targets, int32(u), int32(v))
+				added++
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Permutation returns a random permutation of 0..n−1 drawn from rng.
+func Permutation(n int, rng *rand.Rand) []int {
+	return rng.Perm(n)
+}
+
+// Relabel returns a copy of g whose node i has been renamed perm[i], with
+// attributes moved accordingly. It is the tool used to hide the identity
+// alignment when constructing a target network from a source network.
+func Relabel(g *Graph, perm []int) *Graph {
+	if len(perm) != g.N() {
+		panic("graph: Relabel permutation length mismatch")
+	}
+	b := NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	out := b.Build()
+	if g.Attrs() != nil {
+		attrs := g.Attrs()
+		moved := dense.New(attrs.Rows, attrs.Cols)
+		for i := 0; i < attrs.Rows; i++ {
+			copy(moved.Row(perm[i]), attrs.Row(i))
+		}
+		out = out.WithAttrs(moved)
+	}
+	return out
+}
+
+// attrsForRows copies the attribute rows of the listed nodes, in list
+// order.
+func attrsForRows(attrs *dense.Matrix, nodes []int) *dense.Matrix {
+	out := dense.New(len(nodes), attrs.Cols)
+	for i, v := range nodes {
+		copy(out.Row(i), attrs.Row(v))
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package graph
+
+import "fmt"
+
+// Components labels the connected components of g: the result maps every
+// node to a component id in 0..k−1, ids assigned in order of first
+// appearance. The second return value is k.
+func Components(g *Graph) ([]int, int) {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var queue []int32
+	for start := 0; start < g.N(); start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		comp[start] = next
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(int(v)) {
+				if comp[w] < 0 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// LargestComponent returns the node ids of g's largest connected
+// component, in increasing order. Ties resolve to the lowest component id.
+func LargestComponent(g *Graph) []int {
+	comp, k := Components(g)
+	if k == 0 {
+		return nil
+	}
+	sizes := make([]int, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]int, 0, sizes[best])
+	for v, c := range comp {
+		if c == best {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BFSDistances returns the hop distance from start to every node, with −1
+// for unreachable nodes.
+func BFSDistances(g *Graph, start int) []int {
+	if start < 0 || start >= g.N() {
+		panic(fmt.Sprintf("graph: BFS start %d out of range [0,%d)", start, g.N()))
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []int32{int32(start)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(int(v)) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// InducedSubgraph returns the subgraph of g induced on the given nodes
+// (which must be distinct and in range), together with the mapping from
+// new node ids to original ids (= the input slice, copied). Attributes
+// are carried over.
+func InducedSubgraph(g *Graph, nodes []int) (*Graph, []int) {
+	newID := make([]int, g.N())
+	for i := range newID {
+		newID[i] = -1
+	}
+	for i, v := range nodes {
+		if v < 0 || v >= g.N() {
+			panic(fmt.Sprintf("graph: induced node %d out of range [0,%d)", v, g.N()))
+		}
+		if newID[v] >= 0 {
+			panic(fmt.Sprintf("graph: induced node %d listed twice", v))
+		}
+		newID[v] = i
+	}
+	b := NewBuilder(len(nodes))
+	for _, e := range g.Edges() {
+		u, v := newID[e[0]], newID[e[1]]
+		if u >= 0 && v >= 0 {
+			b.AddEdge(u, v)
+		}
+	}
+	sub := b.Build()
+	if attrs := g.Attrs(); attrs != nil {
+		subAttrs := attrsForRows(attrs, nodes)
+		sub = sub.WithAttrs(subAttrs)
+	}
+	return sub, append([]int(nil), nodes...)
+}
+
+// Triangles returns the number of triangles in g, counting each once.
+func Triangles(g *Graph) int {
+	tri := 0
+	for _, e := range g.Edges() {
+		u, v := int(e[0]), int(e[1])
+		// Count common neighbours above v so each triangle is charged to
+		// its lexicographically smallest edge.
+		for _, w := range g.Neighbors(u) {
+			if int(w) > v && g.HasEdge(int(w), v) {
+				tri++
+			}
+		}
+	}
+	return tri
+}

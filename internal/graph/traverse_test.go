@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	comp, k := Components(g)
+	if k != 3 {
+		t.Fatalf("k = %d, want 3", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("first component split: %v", comp)
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Fatalf("second component wrong: %v", comp)
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatalf("isolate merged: %v", comp)
+	}
+}
+
+func TestComponentsEmptyGraph(t *testing.T) {
+	comp, k := Components(NewBuilder(0).Build())
+	if len(comp) != 0 || k != 0 {
+		t.Fatalf("empty graph: comp=%v k=%d", comp, k)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	g := b.Build()
+	lc := LargestComponent(g)
+	if len(lc) != 3 || lc[0] != 2 || lc[1] != 3 || lc[2] != 4 {
+		t.Fatalf("largest component = %v", lc)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := pathGraph(5)
+	dist := BFSDistances(g, 0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Fatalf("dist = %v", dist)
+		}
+	}
+	// Unreachable nodes get −1.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	dist = BFSDistances(b.Build(), 0)
+	if dist[2] != -1 {
+		t.Fatalf("unreachable distance = %d", dist[2])
+	}
+}
+
+func TestBFSDistancesOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BFSDistances(pathGraph(3), 9)
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := pathGraph(5).WithAttrs(dense.FromRows([][]float64{{0}, {1}, {2}, {3}, {4}}))
+	sub, ids := InducedSubgraph(g, []int{1, 2, 4})
+	if sub.N() != 3 {
+		t.Fatalf("n = %d", sub.N())
+	}
+	// Only edge (1,2) survives; (2,3) and (3,4) lose node 3.
+	if sub.NumEdges() != 1 || !sub.HasEdge(0, 1) {
+		t.Fatalf("edges = %d", sub.NumEdges())
+	}
+	if sub.Attrs().At(2, 0) != 4 {
+		t.Fatalf("attrs not carried: %v", sub.Attrs())
+	}
+	if len(ids) != 3 || ids[2] != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestInducedSubgraphValidation(t *testing.T) {
+	g := pathGraph(4)
+	for _, nodes := range [][]int{{0, 9}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("nodes %v: expected panic", nodes)
+				}
+			}()
+			InducedSubgraph(g, nodes)
+		}()
+	}
+}
+
+func TestComponentsPartitionProperty(t *testing.T) {
+	// Every edge joins same-component nodes; component count + edges
+	// within a forest bound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(5+rng.Intn(30), 0.08, rng)
+		comp, k := Components(g)
+		if k < 1 && g.N() > 0 {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if comp[e[0]] != comp[e[1]] {
+				return false
+			}
+		}
+		// Spanning-forest inequality: n − k ≤ |E|.
+		return g.N()-k <= g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	b := NewBuilder(5)
+	// Two triangles sharing edge (0,1).
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(0, 3)
+	g := b.Build()
+	if got := Triangles(g); got != 2 {
+		t.Fatalf("Triangles = %d, want 2", got)
+	}
+	if Triangles(pathGraph(5)) != 0 {
+		t.Fatal("path has no triangles")
+	}
+}
+
+func TestTrianglesMatchesComplete(t *testing.T) {
+	// K5 has C(5,3) = 10 triangles.
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	if got := Triangles(b.Build()); got != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", got)
+	}
+}

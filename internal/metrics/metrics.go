@@ -1,0 +1,97 @@
+// Package metrics implements the evaluation measures of the paper's §V-A:
+// precision@q (Eq. 16) and mean reciprocal rank (Eq. 17), computed against
+// a (possibly partial) ground-truth anchor map.
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// Truth maps each source node to its anchor in the target graph; −1 marks
+// source nodes without a ground-truth anchor (they are excluded from all
+// metrics, matching partial-alignment datasets such as Douban).
+type Truth []int
+
+// FromPerm converts a full permutation (source i ↔ target perm[i]) into a
+// Truth map.
+func FromPerm(perm []int) Truth {
+	t := make(Truth, len(perm))
+	copy(t, perm)
+	return t
+}
+
+// NumAnchors returns the number of ground-truth anchor links.
+func (t Truth) NumAnchors() int {
+	n := 0
+	for _, v := range t {
+		if v >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Report holds the evaluation of one alignment matrix.
+type Report struct {
+	// PrecisionAt maps q to precision@q.
+	PrecisionAt map[int]float64
+	// MRR is the mean reciprocal rank over all anchors.
+	MRR float64
+	// Anchors is the number of ground-truth pairs evaluated.
+	Anchors int
+}
+
+// Evaluate scores an alignment matrix against ground truth for the given
+// precision cutoffs. The rank of the true anchor within a row is
+// 1 + (number of strictly larger scores); ties therefore resolve
+// optimistically, the convention the benchmark literature uses.
+func Evaluate(m *dense.Matrix, truth Truth, qs ...int) Report {
+	if len(truth) != m.Rows {
+		panic(fmt.Sprintf("metrics: truth has %d entries for %d source nodes", len(truth), m.Rows))
+	}
+	rep := Report{PrecisionAt: make(map[int]float64, len(qs))}
+	hits := make(map[int]int, len(qs))
+	var mrr float64
+	for s, tgt := range truth {
+		if tgt < 0 {
+			continue
+		}
+		if tgt >= m.Cols {
+			panic(fmt.Sprintf("metrics: anchor %d→%d outside %d target nodes", s, tgt, m.Cols))
+		}
+		rep.Anchors++
+		row := m.Row(s)
+		score := row[tgt]
+		rank := 1
+		for _, v := range row {
+			if v > score {
+				rank++
+			}
+		}
+		mrr += 1 / float64(rank)
+		for _, q := range qs {
+			if rank <= q {
+				hits[q]++
+			}
+		}
+	}
+	if rep.Anchors == 0 {
+		for _, q := range qs {
+			rep.PrecisionAt[q] = 0
+		}
+		return rep
+	}
+	rep.MRR = mrr / float64(rep.Anchors)
+	for _, q := range qs {
+		rep.PrecisionAt[q] = float64(hits[q]) / float64(rep.Anchors)
+	}
+	return rep
+}
+
+// String renders the standard p@1/p@10/MRR triple.
+func (r Report) String() string {
+	return fmt.Sprintf("p@1=%.4f p@10=%.4f MRR=%.4f (n=%d)",
+		r.PrecisionAt[1], r.PrecisionAt[10], r.MRR, r.Anchors)
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+func TestEvaluatePerfectAlignment(t *testing.T) {
+	m := dense.FromRows([][]float64{
+		{0.9, 0.1, 0.0},
+		{0.0, 0.8, 0.1},
+		{0.2, 0.1, 0.7},
+	})
+	rep := Evaluate(m, Truth{0, 1, 2}, 1, 10)
+	if rep.PrecisionAt[1] != 1 || rep.PrecisionAt[10] != 1 || rep.MRR != 1 {
+		t.Fatalf("perfect alignment: %+v", rep)
+	}
+	if rep.Anchors != 3 {
+		t.Fatalf("anchors = %d", rep.Anchors)
+	}
+}
+
+func TestEvaluateRanks(t *testing.T) {
+	// True anchor of source 0 is target 2, which ranks 3rd in its row.
+	m := dense.FromRows([][]float64{{0.9, 0.5, 0.1}})
+	rep := Evaluate(m, Truth{2}, 1, 2, 3)
+	if rep.PrecisionAt[1] != 0 || rep.PrecisionAt[2] != 0 || rep.PrecisionAt[3] != 1 {
+		t.Fatalf("rank cutoffs: %+v", rep.PrecisionAt)
+	}
+	if math.Abs(rep.MRR-1.0/3.0) > 1e-12 {
+		t.Fatalf("MRR = %v, want 1/3", rep.MRR)
+	}
+}
+
+func TestEvaluatePartialTruth(t *testing.T) {
+	m := dense.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.9, 0.1},
+		{0.1, 0.9},
+	})
+	// Only source nodes 0 and 2 have anchors.
+	rep := Evaluate(m, Truth{0, -1, 1}, 1)
+	if rep.Anchors != 2 {
+		t.Fatalf("anchors = %d, want 2", rep.Anchors)
+	}
+	if rep.PrecisionAt[1] != 1 {
+		t.Fatalf("p@1 = %v", rep.PrecisionAt[1])
+	}
+}
+
+func TestEvaluateMixedRanks(t *testing.T) {
+	m := dense.FromRows([][]float64{
+		{0.9, 0.5}, // anchor 0 → rank 1
+		{0.9, 0.5}, // anchor 1 → rank 2
+	})
+	rep := Evaluate(m, Truth{0, 1}, 1)
+	if rep.PrecisionAt[1] != 0.5 {
+		t.Fatalf("p@1 = %v, want 0.5", rep.PrecisionAt[1])
+	}
+	if math.Abs(rep.MRR-0.75) > 1e-12 {
+		t.Fatalf("MRR = %v, want 0.75", rep.MRR)
+	}
+}
+
+func TestEvaluateTieOptimistic(t *testing.T) {
+	// Tied scores do not push the anchor's rank down.
+	m := dense.FromRows([][]float64{{0.5, 0.5}})
+	rep := Evaluate(m, Truth{1}, 1)
+	if rep.PrecisionAt[1] != 1 {
+		t.Fatalf("tie handling: %+v", rep)
+	}
+}
+
+func TestEvaluateNoAnchors(t *testing.T) {
+	m := dense.FromRows([][]float64{{0.5}})
+	rep := Evaluate(m, Truth{-1}, 1)
+	if rep.Anchors != 0 || rep.MRR != 0 || rep.PrecisionAt[1] != 0 {
+		t.Fatalf("no-anchor report: %+v", rep)
+	}
+}
+
+func TestEvaluateLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate(dense.New(2, 2), Truth{0}, 1)
+}
+
+func TestEvaluateAnchorOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate(dense.New(1, 2), Truth{5}, 1)
+}
+
+func TestFromPermAndNumAnchors(t *testing.T) {
+	tr := FromPerm([]int{2, 0, 1})
+	if tr.NumAnchors() != 3 {
+		t.Fatalf("NumAnchors = %d", tr.NumAnchors())
+	}
+	tr[1] = -1
+	if tr.NumAnchors() != 2 {
+		t.Fatalf("NumAnchors after removal = %d", tr.NumAnchors())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{PrecisionAt: map[int]float64{1: 0.5, 10: 0.75}, MRR: 0.6, Anchors: 4}
+	s := rep.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

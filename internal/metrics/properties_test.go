@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// TestMetricProperties checks the structural invariants every evaluation
+// must satisfy, on random alignment matrices and random partial truths.
+func TestMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ns := 2 + rng.Intn(12)
+		nt := 2 + rng.Intn(12)
+		m := dense.New(ns, nt)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		truth := make(Truth, ns)
+		for i := range truth {
+			if rng.Float64() < 0.7 {
+				truth[i] = rng.Intn(nt)
+			} else {
+				truth[i] = -1
+			}
+		}
+		rep := Evaluate(m, truth, 1, 5, 10)
+
+		// Bounds.
+		for _, q := range []int{1, 5, 10} {
+			if rep.PrecisionAt[q] < 0 || rep.PrecisionAt[q] > 1 {
+				return false
+			}
+		}
+		if rep.MRR < 0 || rep.MRR > 1 {
+			return false
+		}
+		// Monotone in q.
+		if rep.PrecisionAt[1] > rep.PrecisionAt[5] || rep.PrecisionAt[5] > rep.PrecisionAt[10] {
+			return false
+		}
+		// MRR is sandwiched: p@1 ≤ MRR (reciprocal rank 1 per hit, less
+		// per miss but non-negative) and MRR ≤ p@n for n ≥ nt (every
+		// anchor ranks within nt).
+		if rep.PrecisionAt[1] > rep.MRR+1e-12 {
+			return false
+		}
+		// q ≥ nt means every anchor hits.
+		full := Evaluate(m, truth, nt)
+		if truth.NumAnchors() > 0 && full.PrecisionAt[nt] != 1 {
+			return false
+		}
+		return rep.Anchors == truth.NumAnchors()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvaluateScaleInvariance: multiplying the alignment matrix by a
+// positive constant must not change any metric (ranking-based).
+func TestEvaluateScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		m := dense.New(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		truth := FromPerm(rng.Perm(n))
+		a := Evaluate(m, truth, 1, 10)
+		scaled := m.Clone()
+		scaled.Scale(3.7)
+		b := Evaluate(scaled, truth, 1, 10)
+		return a.MRR == b.MRR && a.PrecisionAt[1] == b.PrecisionAt[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvaluatePermutedColumnsConsistency: permuting target columns along
+// with the truth map leaves all metrics unchanged.
+func TestEvaluatePermutedColumnsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 9
+	m := dense.New(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	truth := FromPerm(rng.Perm(n))
+	before := Evaluate(m, truth, 1, 10)
+
+	perm := rng.Perm(n)
+	permuted := dense.New(n, n)
+	permTruth := make(Truth, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			permuted.Set(i, perm[j], m.At(i, j))
+		}
+		permTruth[i] = perm[truth[i]]
+	}
+	after := Evaluate(permuted, permTruth, 1, 10)
+	if before.MRR != after.MRR || before.PrecisionAt[1] != after.PrecisionAt[1] {
+		t.Fatalf("metrics not permutation-consistent: %+v vs %+v", before, after)
+	}
+}

@@ -1,0 +1,79 @@
+// Package nn implements the neural substrate of HTC: a shared-weight
+// L-layer GCN encoder with exact manual backpropagation, the graph
+// autoencoder reconstruction loss of Eq. (6)–(8), the Adam optimiser, and
+// the multi-orbit-aware training loop of Algorithm 1. Everything is built
+// on the dense/sparse kernels; no autodiff framework is involved — the
+// model is small enough that its gradient has a closed form.
+package nn
+
+import "math"
+
+// Activation is a pointwise nonlinearity that can run forward in place and
+// push gradients backward given the layer's *output* (every activation
+// used here has a derivative expressible through its output, which avoids
+// caching pre-activations).
+type Activation interface {
+	// Name identifies the activation in logs and tests.
+	Name() string
+	// Forward applies the activation to every entry of z in place.
+	Forward(z []float64)
+	// Backward multiplies grad by f′(z) computed from the activation
+	// output act, entry by entry, in place.
+	Backward(grad, act []float64)
+}
+
+// Tanh is the hyperbolic tangent activation; f′(z) = 1 − f(z)².
+type Tanh struct{}
+
+// Name implements Activation.
+func (Tanh) Name() string { return "tanh" }
+
+// Forward implements Activation.
+func (Tanh) Forward(z []float64) {
+	for i, v := range z {
+		z[i] = math.Tanh(v)
+	}
+}
+
+// Backward implements Activation.
+func (Tanh) Backward(grad, act []float64) {
+	for i, a := range act {
+		grad[i] *= 1 - a*a
+	}
+}
+
+// ReLU is the rectified linear unit; f′(z) = 1 for positive outputs.
+type ReLU struct{}
+
+// Name implements Activation.
+func (ReLU) Name() string { return "relu" }
+
+// Forward implements Activation.
+func (ReLU) Forward(z []float64) {
+	for i, v := range z {
+		if v < 0 {
+			z[i] = 0
+		}
+	}
+}
+
+// Backward implements Activation.
+func (ReLU) Backward(grad, act []float64) {
+	for i, a := range act {
+		if a <= 0 {
+			grad[i] = 0
+		}
+	}
+}
+
+// Linear is the identity activation.
+type Linear struct{}
+
+// Name implements Activation.
+func (Linear) Name() string { return "linear" }
+
+// Forward implements Activation.
+func (Linear) Forward([]float64) {}
+
+// Backward implements Activation.
+func (Linear) Backward([]float64, []float64) {}

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// Adam is the Adam optimiser (Kingma & Ba, 2014) over a fixed parameter
+// list, with the standard bias-corrected first and second moments.
+type Adam struct {
+	// LR is the learning rate η (the paper uses 0.01).
+	LR float64
+	// Beta1, Beta2 are the moment decay rates; Eps avoids division by 0.
+	Beta1, Beta2, Eps float64
+
+	params []*dense.Matrix
+	m, v   []*dense.Matrix
+	t      int
+}
+
+// NewAdam returns an optimiser over params with the given learning rate
+// and default decay rates β1 = 0.9, β2 = 0.999, ε = 1e−8.
+func NewAdam(params []*dense.Matrix, lr float64) *Adam {
+	a := &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		params: params,
+		m:      make([]*dense.Matrix, len(params)),
+		v:      make([]*dense.Matrix, len(params)),
+	}
+	for i, p := range params {
+		a.m[i] = dense.New(p.Rows, p.Cols)
+		a.v[i] = dense.New(p.Rows, p.Cols)
+	}
+	return a
+}
+
+// Step applies one Adam update using grads, which must be shaped like the
+// parameter list passed to NewAdam.
+func (a *Adam) Step(grads []*dense.Matrix) {
+	if len(grads) != len(a.params) {
+		panic("nn: Adam.Step gradient count mismatch")
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*gj
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*gj*gj
+			mHat := m.Data[j] / c1
+			vHat := v.Data[j] / c2
+			p.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}

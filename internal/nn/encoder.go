@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/sparse"
+)
+
+// Encoder is an L-layer graph convolutional encoder with weights shared
+// across graphs and orbits (the property Proposition 1 of the paper relies
+// on). Layer l computes Hˡ = fˡ(L̃·Hˡ⁻¹·Wˡ) per Eq. (4)–(5); the Laplacian
+// L̃ is supplied per forward call so the same weights serve every orbit of
+// both the source and target graph.
+type Encoder struct {
+	// Dims holds the layer widths: Dims[0] is the input feature
+	// dimension, Dims[len(Dims)-1] the embedding dimension.
+	Dims []int
+	// Acts holds one activation per layer.
+	Acts []Activation
+	// W holds the trainable weights, W[l] of shape Dims[l]×Dims[l+1].
+	W []*dense.Matrix
+}
+
+// NewEncoder creates an encoder with Xavier-initialised weights drawn from
+// rng. dims must contain at least two entries and acts exactly
+// len(dims)−1.
+func NewEncoder(dims []int, acts []Activation, rng *rand.Rand) *Encoder {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("nn: encoder needs ≥2 dims, got %v", dims))
+	}
+	if len(acts) != len(dims)-1 {
+		panic(fmt.Sprintf("nn: %d activations for %d layers", len(acts), len(dims)-1))
+	}
+	e := &Encoder{Dims: dims, Acts: acts, W: make([]*dense.Matrix, len(dims)-1)}
+	for l := range e.W {
+		e.W[l] = dense.Xavier(dims[l], dims[l+1], rng)
+	}
+	return e
+}
+
+// Layers returns the number of hidden layers L.
+func (e *Encoder) Layers() int { return len(e.W) }
+
+// Clone returns a deep copy of the encoder (weights included).
+func (e *Encoder) Clone() *Encoder {
+	cp := &Encoder{
+		Dims: append([]int(nil), e.Dims...),
+		Acts: append([]Activation(nil), e.Acts...),
+		W:    make([]*dense.Matrix, len(e.W)),
+	}
+	for l, w := range e.W {
+		cp.W[l] = w.Clone()
+	}
+	return cp
+}
+
+// Cache stores the intermediate activations of one forward pass, needed to
+// run the corresponding backward pass.
+type Cache struct {
+	// Lap is the aggregation matrix used by the pass.
+	Lap *sparse.CSR
+	// X is the input feature matrix.
+	X *dense.Matrix
+	// P[l] = Lap·Hˡ⁻¹ (pre-weight aggregate), A[l] = fˡ(P[l]·Wˡ).
+	P, A []*dense.Matrix
+}
+
+// Output returns the final-layer embeddings of the pass.
+func (c *Cache) Output() *dense.Matrix { return c.A[len(c.A)-1] }
+
+// Forward runs the encoder over one graph: lap is the (possibly
+// reinforced) normalised orbit Laplacian, x the node features. It returns
+// the cache holding every layer's activations.
+func (e *Encoder) Forward(lap *sparse.CSR, x *dense.Matrix) *Cache {
+	if x.Cols != e.Dims[0] {
+		panic(fmt.Sprintf("nn: input has %d features, encoder expects %d", x.Cols, e.Dims[0]))
+	}
+	c := &Cache{Lap: lap, X: x, P: make([]*dense.Matrix, e.Layers()), A: make([]*dense.Matrix, e.Layers())}
+	h := x
+	for l := 0; l < e.Layers(); l++ {
+		p := lap.MulDense(h)
+		z := dense.Mul(p, e.W[l])
+		e.Acts[l].Forward(z.Data)
+		c.P[l], c.A[l] = p, z
+		h = z
+	}
+	return c
+}
+
+// Embed is a convenience wrapper returning only the final embeddings.
+func (e *Encoder) Embed(lap *sparse.CSR, x *dense.Matrix) *dense.Matrix {
+	return e.Forward(lap, x).Output()
+}
+
+// Backward accumulates ∂loss/∂W into grads given ∂loss/∂output. The cache
+// must come from a Forward call on this encoder; grads must hold one
+// matrix per layer, shaped like the weights. dOut is consumed
+// (overwritten) during the pass.
+//
+// Derivation per layer (symmetric L̃): with Zˡ = L̃·Aˡ⁻¹·Wˡ and
+// Aˡ = fˡ(Zˡ):
+//
+//	dZˡ = dAˡ ⊙ fˡ′,  dWˡ = (L̃·Aˡ⁻¹)ᵀ·dZˡ = Pˡᵀ·dZˡ,
+//	dAˡ⁻¹ = L̃ᵀ·(dZˡ·Wˡᵀ) = L̃·(dZˡ·Wˡᵀ).
+func (e *Encoder) Backward(c *Cache, dOut *dense.Matrix, grads []*dense.Matrix) {
+	if len(grads) != e.Layers() {
+		panic(fmt.Sprintf("nn: %d gradient buffers for %d layers", len(grads), e.Layers()))
+	}
+	dA := dOut
+	for l := e.Layers() - 1; l >= 0; l-- {
+		e.Acts[l].Backward(dA.Data, c.A[l].Data) // dA becomes dZ in place
+		grads[l].Add(dense.MulAT(c.P[l], dA))
+		if l > 0 {
+			dP := dense.MulBT(dA, e.W[l])
+			dA = c.Lap.MulDense(dP) // L̃ is symmetric: L̃ᵀ·dP = L̃·dP
+		}
+	}
+}
+
+// ZeroGrads returns zeroed gradient buffers shaped like the encoder's
+// weights.
+func (e *Encoder) ZeroGrads() []*dense.Matrix {
+	grads := make([]*dense.Matrix, e.Layers())
+	for l, w := range e.W {
+		grads[l] = dense.New(w.Rows, w.Cols)
+	}
+	return grads
+}
+
+// ReconLoss evaluates the graph-autoencoder reconstruction objective for
+// one orbit and one graph: loss = ‖L̃ − H·Hᵀ‖²_F (squared Frobenius form
+// of Eq. (7); same minimiser, smooth gradient), returning the loss value
+// and ∂loss/∂H.
+//
+// Neither the loss nor the gradient materialises the n×n reconstruction:
+//
+//	loss = ‖L̃‖²_F − 2·Σ(H ⊙ (L̃·H)) + ‖HᵀH‖²_F
+//	grad = −4·(L̃·H − H·(HᵀH))
+func ReconLoss(lap *sparse.CSR, h *dense.Matrix) (float64, *dense.Matrix) {
+	lh := lap.MulDense(h)     // n×d
+	gram := dense.MulAT(h, h) // d×d
+	loss := lap.SumSquares() - 2*h.Dot(lh) + gram.SumSquares()
+	grad := dense.Mul(h, gram) // H·(HᵀH)
+	grad.Sub(lh)
+	grad.Scale(4) // −4(L̃H − H·Gram) = 4(H·Gram − L̃H)
+	return loss, grad
+}

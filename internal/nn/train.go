@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/sparse"
+)
+
+// GraphData bundles one graph's training inputs: the per-orbit normalised
+// Laplacians and the node feature matrix.
+type GraphData struct {
+	Laps []*sparse.CSR
+	X    *dense.Matrix
+}
+
+// TrainConfig controls the multi-orbit-aware training loop.
+type TrainConfig struct {
+	// Epochs is the number of full passes over all orbits of both graphs.
+	Epochs int
+	// LR is the Adam learning rate.
+	LR float64
+	// Patience, when positive, stops training early once the loss has
+	// not improved for that many consecutive epochs — useful on easy
+	// instances where the paper's fixed epoch budget overshoots.
+	Patience int
+	// OnEpoch, when non-nil, observes the summed reconstruction loss
+	// after each epoch (used for logging and convergence tests).
+	OnEpoch func(epoch int, loss float64)
+}
+
+// Train runs Algorithm 1 (multi-orbit-aware embedding): for every epoch it
+// accumulates the reconstruction gradient of every orbit of both graphs
+// into one shared update, so the encoder is forced to capture all orders
+// of topological consistency at once. It returns the per-epoch loss Γ.
+func Train(enc *Encoder, src, tgt *GraphData, cfg TrainConfig) []float64 {
+	if len(src.Laps) != len(tgt.Laps) {
+		panic(fmt.Sprintf("nn: source has %d orbits, target %d", len(src.Laps), len(tgt.Laps)))
+	}
+	if cfg.Epochs <= 0 {
+		return nil
+	}
+	opt := NewAdam(enc.W, cfg.LR)
+	history := make([]float64, 0, cfg.Epochs)
+	best := math.Inf(1)
+	sinceImprovement := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		grads := enc.ZeroGrads()
+		var total float64
+		for k := range src.Laps {
+			for _, gd := range [2]*GraphData{src, tgt} {
+				cache := enc.Forward(gd.Laps[k], gd.X)
+				loss, dH := ReconLoss(gd.Laps[k], cache.Output())
+				enc.Backward(cache, dH, grads)
+				total += loss
+			}
+		}
+		opt.Step(grads)
+		history = append(history, total)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, total)
+		}
+		if cfg.Patience > 0 {
+			if total < best*(1-1e-9) {
+				best = total
+				sinceImprovement = 0
+			} else if sinceImprovement++; sinceImprovement >= cfg.Patience {
+				break
+			}
+		}
+	}
+	return history
+}
+
+// EmbedAll generates the per-orbit embeddings H = {H₀ … H_K} of one graph
+// with the trained encoder (Algorithm 1, line 12).
+func EmbedAll(enc *Encoder, gd *GraphData) []*dense.Matrix {
+	out := make([]*dense.Matrix, len(gd.Laps))
+	for k, lap := range gd.Laps {
+		out[k] = enc.Embed(lap, gd.X)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package orbit
+
+import (
+	"github.com/htc-align/htc/internal/graph"
+)
+
+// CountBrute computes edge-orbit counts by exhaustively enumerating every
+// 2-, 3- and 4-node subset and classifying its induced subgraph. It is
+// exponentially slower than Count and exists as the ground-truth oracle
+// for tests; keep it for graphs with at most a few dozen nodes.
+func CountBrute(g *graph.Graph) *Counts {
+	n := g.N()
+	idx := g.EdgeIndex()
+	out := &Counts{G: g, PerEdge: make([][NumOrbits]int64, g.NumEdges())}
+
+	bump := func(u, v int, orbit int) {
+		out.PerEdge[idx[graph.EdgeKey(u, v)]][orbit]++
+	}
+
+	// Orbit 0: every edge occurs once as graphlet G0.
+	for _, e := range g.Edges() {
+		bump(int(e[0]), int(e[1]), 0)
+	}
+
+	// 3-node subsets: triangle (orbit 2) or two-edge chain (orbit 1).
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				ab, ac, bc := g.HasEdge(a, b), g.HasEdge(a, c), g.HasEdge(b, c)
+				switch countTrue(ab, ac, bc) {
+				case 3:
+					bump(a, b, 2)
+					bump(a, c, 2)
+					bump(b, c, 2)
+				case 2:
+					if ab {
+						bump(a, b, 1)
+					}
+					if ac {
+						bump(a, c, 1)
+					}
+					if bc {
+						bump(b, c, 1)
+					}
+				}
+			}
+		}
+	}
+
+	// 4-node subsets.
+	nodes := [4]int{}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				for d := c + 1; d < n; d++ {
+					nodes = [4]int{a, b, c, d}
+					classifyQuad(g, nodes, bump)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// classifyQuad identifies the induced graphlet on four nodes and assigns
+// each of its edges to the correct orbit.
+func classifyQuad(g *graph.Graph, nodes [4]int, bump func(u, v, orbit int)) {
+	var edges [][2]int
+	var deg [4]int
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if g.HasEdge(nodes[i], nodes[j]) {
+				edges = append(edges, [2]int{i, j})
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	switch len(edges) {
+	case 3:
+		// A 3-edge subgraph on 4 nodes is connected iff it spans all
+		// four nodes (otherwise it is a triangle plus an isolate,
+		// already counted at the 3-subset level).
+		for _, d := range deg {
+			if d == 0 {
+				return
+			}
+		}
+		if deg[0] == 3 || deg[1] == 3 || deg[2] == 3 || deg[3] == 3 {
+			for _, e := range edges { // star K1,3
+				bump(nodes[e[0]], nodes[e[1]], 5)
+			}
+			return
+		}
+		for _, e := range edges { // path P4
+			if deg[e[0]] == 1 || deg[e[1]] == 1 {
+				bump(nodes[e[0]], nodes[e[1]], 3)
+			} else {
+				bump(nodes[e[0]], nodes[e[1]], 4)
+			}
+		}
+	case 4:
+		// Four edges on four nodes are always connected: C4 (all degree
+		// 2) or the tailed triangle (degrees 1,2,2,3).
+		maxDeg := 0
+		for _, d := range deg {
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if maxDeg == 2 {
+			for _, e := range edges { // quadrangle
+				bump(nodes[e[0]], nodes[e[1]], 6)
+			}
+			return
+		}
+		for _, e := range edges { // tailed triangle
+			du, dv := deg[e[0]], deg[e[1]]
+			switch {
+			case du == 1 || dv == 1:
+				bump(nodes[e[0]], nodes[e[1]], 7) // tail edge
+			case du+dv == 5:
+				bump(nodes[e[0]], nodes[e[1]], 8) // hub–rim edge
+			default:
+				bump(nodes[e[0]], nodes[e[1]], 9) // edge opposite the tail
+			}
+		}
+	case 5:
+		for _, e := range edges { // diamond
+			if deg[e[0]] == 3 && deg[e[1]] == 3 {
+				bump(nodes[e[0]], nodes[e[1]], 11) // central diagonal
+			} else {
+				bump(nodes[e[0]], nodes[e[1]], 10)
+			}
+		}
+	case 6:
+		for _, e := range edges { // clique K4
+			bump(nodes[e[0]], nodes[e[1]], 12)
+		}
+	}
+}
+
+func countTrue(bs ...bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

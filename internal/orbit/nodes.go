@@ -1,0 +1,244 @@
+package orbit
+
+import (
+	"github.com/htc-align/htc/internal/graph"
+)
+
+// NumNodeOrbits is the number of node orbits on 2–4-node graphlets (the
+// graphlet degree vector length of Pržulj's GDV for graphlets G0–G8).
+const NumNodeOrbits = 15
+
+// NodeNames labels each node orbit.
+var NodeNames = [NumNodeOrbits]string{
+	"degree", "P3-end", "P3-mid", "triangle", "P4-end", "P4-mid",
+	"star-leaf", "star-center", "C4", "paw-tail", "paw-rim", "paw-center",
+	"diamond-rim", "diamond-hub", "K4",
+}
+
+// NodeCounts holds, for every node, how many times it occurs on each node
+// orbit — its graphlet degree vector.
+type NodeCounts struct {
+	G *graph.Graph
+	// PerNode[v][k] is the number of times node v occurs on orbit k.
+	PerNode [][NumNodeOrbits]int64
+}
+
+// CountNodes computes the graphlet degree vector of every node. Instead of
+// a second counting pass, the 4-node orbits are derived from the edge
+// orbits through exact combinatorial identities — every 4-node graphlet
+// contributes a fixed number of each edge orbit to each of its node
+// orbits:
+//
+//	o3  = Σ_e∋v O2 / 2          (each triangle at v has 2 edges at v)
+//	o5  = Σ_e∋v O4              (a P4 mid node touches its mid edge once)
+//	o4  = Σ_e∋v O3 − o5         (end edges touch one end + one mid node)
+//	o8  = Σ_e∋v O6 / 2          (a C4 node touches 2 cycle edges)
+//	o10 = Σ_e∋v O9              (paw rim nodes touch the far edge once)
+//	o11 = (Σ_e∋v O8 − o10) / 2  (hub touches both hub–rim edges)
+//	o9  = Σ_e∋v O7 − o11        (the tail edge touches tail + hub)
+//	o13 = Σ_e∋v O11             (the diamond diagonal joins the two hubs)
+//	o12 = (Σ_e∋v O10 − 2·o13)/2 (hubs and rims each touch 2 outer edges)
+//	o14 = Σ_e∋v O12 / 3         (a K4 node touches 3 clique edges)
+//
+// The star centre needs one extra identity (independent neighbour triples
+// by inclusion–exclusion over the neighbourhood's internal edges):
+//
+//	o7 = C(d,3) − t·(d−2) + Σ_{u∈N(v)} C(O2(v,u), 2) − o14
+//	o6 = Σ_e∋v O5 − 3·o7
+//
+// CountNodesFrom validates against CountNodesBrute in the tests.
+func CountNodes(g *graph.Graph) *NodeCounts {
+	return CountNodesFrom(g, Count(g))
+}
+
+// CountNodesFrom derives node-orbit counts from precomputed edge-orbit
+// counts (sharing the expensive pass with gom construction).
+func CountNodesFrom(g *graph.Graph, counts *Counts) *NodeCounts {
+	if counts.G != g {
+		panic("orbit: counts were computed for a different graph")
+	}
+	n := g.N()
+	out := &NodeCounts{G: g, PerNode: make([][NumNodeOrbits]int64, n)}
+
+	// Edge-orbit sums per node, plus the Σ C(O2(v,u), 2) term.
+	var sums [NumOrbits][]int64
+	for k := range sums {
+		sums[k] = make([]int64, n)
+	}
+	pairsOfTriangles := make([]int64, n) // Σ_{u∈N(v)} C(O2(v,u), 2)
+	for ei, e := range g.Edges() {
+		row := counts.PerEdge[ei]
+		for k := 0; k < NumOrbits; k++ {
+			sums[k][e[0]] += row[k]
+			sums[k][e[1]] += row[k]
+		}
+		c2 := choose2(row[2])
+		pairsOfTriangles[e[0]] += c2
+		pairsOfTriangles[e[1]] += c2
+	}
+
+	for v := 0; v < n; v++ {
+		d := int64(g.Degree(v))
+		t := sums[2][v] / 2 // triangles at v
+		row := &out.PerNode[v]
+		row[0] = d
+		// P3: v is the mid of C(d,2)−t induced two-edge chains; ends are
+		// counted from neighbours' spare degrees minus closed wedges.
+		var endP3 int64
+		for _, u := range g.Neighbors(v) {
+			endP3 += int64(g.Degree(int(u))) - 1
+		}
+		row[1] = endP3 - 2*t
+		row[2] = choose2(d) - t
+		row[3] = t
+		row[5] = sums[4][v]
+		row[4] = sums[3][v] - row[5]
+		row[8] = sums[6][v] / 2
+		row[10] = sums[9][v]
+		row[11] = (sums[8][v] - row[10]) / 2
+		row[9] = sums[7][v] - row[11]
+		row[13] = sums[11][v]
+		row[12] = (sums[10][v] - 2*row[13]) / 2
+		row[14] = sums[12][v] / 3
+		row[7] = choose3(d) - t*(d-2) + pairsOfTriangles[v] - row[14]
+		row[6] = sums[5][v] - 3*row[7]
+	}
+	return out
+}
+
+// Totals sums each node orbit over all nodes.
+func (c *NodeCounts) Totals() [NumNodeOrbits]int64 {
+	var t [NumNodeOrbits]int64
+	for i := range c.PerNode {
+		for k := 0; k < NumNodeOrbits; k++ {
+			t[k] += c.PerNode[i][k]
+		}
+	}
+	return t
+}
+
+// CountNodesBrute computes node-orbit counts by exhaustive subset
+// enumeration; the test oracle for CountNodes.
+func CountNodesBrute(g *graph.Graph) *NodeCounts {
+	n := g.N()
+	out := &NodeCounts{G: g, PerNode: make([][NumNodeOrbits]int64, n)}
+	bump := func(v, orbit int) { out.PerNode[v][orbit]++ }
+
+	for _, e := range g.Edges() {
+		bump(int(e[0]), 0)
+		bump(int(e[1]), 0)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				ab, ac, bc := g.HasEdge(a, b), g.HasEdge(a, c), g.HasEdge(b, c)
+				switch countTrue(ab, ac, bc) {
+				case 3:
+					bump(a, 3)
+					bump(b, 3)
+					bump(c, 3)
+				case 2:
+					// The mid node is on both edges.
+					switch {
+					case ab && ac:
+						bump(a, 2)
+						bump(b, 1)
+						bump(c, 1)
+					case ab && bc:
+						bump(b, 2)
+						bump(a, 1)
+						bump(c, 1)
+					default: // ac && bc
+						bump(c, 2)
+						bump(a, 1)
+						bump(b, 1)
+					}
+				}
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				for d := c + 1; d < n; d++ {
+					classifyQuadNodes(g, [4]int{a, b, c, d}, bump)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// classifyQuadNodes assigns the node orbits of one induced 4-node
+// subgraph.
+func classifyQuadNodes(g *graph.Graph, nodes [4]int, bump func(v, orbit int)) {
+	var deg [4]int
+	edges := 0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if g.HasEdge(nodes[i], nodes[j]) {
+				deg[i]++
+				deg[j]++
+				edges++
+			}
+		}
+	}
+	switch edges {
+	case 3:
+		for _, dd := range deg {
+			if dd == 0 {
+				return // triangle + isolate: not a connected 4-graphlet
+			}
+		}
+		star := deg[0] == 3 || deg[1] == 3 || deg[2] == 3 || deg[3] == 3
+		for i, dd := range deg {
+			switch {
+			case star && dd == 3:
+				bump(nodes[i], 7)
+			case star:
+				bump(nodes[i], 6)
+			case dd == 1:
+				bump(nodes[i], 4)
+			default:
+				bump(nodes[i], 5)
+			}
+		}
+	case 4:
+		maxDeg := 0
+		for _, dd := range deg {
+			if dd > maxDeg {
+				maxDeg = dd
+			}
+		}
+		if maxDeg == 2 { // C4
+			for i := range deg {
+				bump(nodes[i], 8)
+			}
+			return
+		}
+		for i, dd := range deg { // paw
+			switch dd {
+			case 1:
+				bump(nodes[i], 9)
+			case 2:
+				bump(nodes[i], 10)
+			default:
+				bump(nodes[i], 11)
+			}
+		}
+	case 5:
+		for i, dd := range deg { // diamond
+			if dd == 3 {
+				bump(nodes[i], 13)
+			} else {
+				bump(nodes[i], 12)
+			}
+		}
+	case 6:
+		for i := range deg {
+			bump(nodes[i], 14)
+		}
+	}
+}
+
+func choose3(n int64) int64 { return n * (n - 1) * (n - 2) / 6 }

@@ -1,0 +1,183 @@
+package orbit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htc-align/htc/internal/graph"
+)
+
+func nodeRow(t *testing.T, c *NodeCounts, v int) []int64 {
+	t.Helper()
+	return c.PerNode[v][:]
+}
+
+func wantNodeRow(t *testing.T, got []int64, want [NumNodeOrbits]int64, label string) {
+	t.Helper()
+	for k := 0; k < NumNodeOrbits; k++ {
+		if got[k] != want[k] {
+			t.Fatalf("%s node orbit %d (%s): got %d, want %d (full row %v)",
+				label, k, NodeNames[k], got[k], want[k], got)
+		}
+	}
+}
+
+func TestCountNodesPath(t *testing.T) {
+	// P4 0-1-2-3: ends are orbit 4, mids orbit 5; every node also sits
+	// on P3s.
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	c := CountNodes(g)
+	wantNodeRow(t, nodeRow(t, c, 0), [NumNodeOrbits]int64{0: 1, 1: 1, 4: 1}, "P4 end")
+	wantNodeRow(t, nodeRow(t, c, 1), [NumNodeOrbits]int64{0: 2, 1: 1, 2: 1, 5: 1}, "P4 mid")
+}
+
+func TestCountNodesStar(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	c := CountNodes(g)
+	wantNodeRow(t, nodeRow(t, c, 0), [NumNodeOrbits]int64{0: 3, 2: 3, 7: 1}, "star center")
+	wantNodeRow(t, nodeRow(t, c, 1), [NumNodeOrbits]int64{0: 1, 1: 2, 6: 1}, "star leaf")
+}
+
+func TestCountNodesTriangle(t *testing.T) {
+	g := buildGraph(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	c := CountNodes(g)
+	wantNodeRow(t, nodeRow(t, c, 0), [NumNodeOrbits]int64{0: 2, 3: 1}, "K3")
+}
+
+func TestCountNodesPaw(t *testing.T) {
+	// Triangle {0,1,2} with tail 3 on 0.
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}})
+	c := CountNodes(g)
+	if c.PerNode[3][9] != 1 {
+		t.Fatalf("tail node: %v", c.PerNode[3])
+	}
+	if c.PerNode[0][11] != 1 {
+		t.Fatalf("center node: %v", c.PerNode[0])
+	}
+	if c.PerNode[1][10] != 1 || c.PerNode[2][10] != 1 {
+		t.Fatalf("rim nodes: %v / %v", c.PerNode[1], c.PerNode[2])
+	}
+}
+
+func TestCountNodesDiamondAndK4(t *testing.T) {
+	diamond := buildGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	c := CountNodes(diamond)
+	if c.PerNode[0][13] != 1 || c.PerNode[1][13] != 1 {
+		t.Fatalf("hubs: %v / %v", c.PerNode[0], c.PerNode[1])
+	}
+	if c.PerNode[2][12] != 1 || c.PerNode[3][12] != 1 {
+		t.Fatalf("rims: %v / %v", c.PerNode[2], c.PerNode[3])
+	}
+	k4 := completeGraph(4)
+	c = CountNodes(k4)
+	for v := 0; v < 4; v++ {
+		if c.PerNode[v][14] != 1 {
+			t.Fatalf("K4 node %d: %v", v, c.PerNode[v])
+		}
+	}
+}
+
+func TestCountNodesC4(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	c := CountNodes(g)
+	for v := 0; v < 4; v++ {
+		if c.PerNode[v][8] != 1 {
+			t.Fatalf("C4 node %d: %v", v, c.PerNode[v])
+		}
+	}
+}
+
+func TestCountNodesMatchesBruteNamed(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"fig5":     buildGraph(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 4}}),
+		"bull":     buildGraph(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 4}}),
+		"k5":       completeGraph(5),
+		"petersen": petersen(),
+		"twoComp":  buildGraph(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}}),
+	}
+	for name, g := range graphs {
+		fast, brute := CountNodes(g), CountNodesBrute(g)
+		for v := range fast.PerNode {
+			if fast.PerNode[v] != brute.PerNode[v] {
+				t.Errorf("%s node %d: fast %v != brute %v", name, v, fast.PerNode[v], brute.PerNode[v])
+			}
+		}
+	}
+}
+
+func TestCountNodesMatchesBruteRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(12)
+		p := 0.15 + 0.5*rng.Float64()
+		g := graph.ErdosRenyi(n, p, rng)
+		fast, brute := CountNodes(g), CountNodesBrute(g)
+		for v := range fast.PerNode {
+			if fast.PerNode[v] != brute.PerNode[v] {
+				t.Logf("seed %d node %d: fast %v brute %v", seed, v, fast.PerNode[v], brute.PerNode[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeTotalsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ErdosRenyi(35, 0.25, rng)
+	nt := CountNodes(g).Totals()
+	et := Count(g).Totals()
+
+	// Each graphlet occurrence distributes its nodes across the node
+	// orbits in fixed proportions tied to the edge orbits.
+	if nt[0] != 2*et[0] {
+		t.Fatalf("degree total %d != 2×edges %d", nt[0], et[0])
+	}
+	if nt[3] != et[2] { // triangle: 3 nodes ↔ 3 edges per triangle
+		t.Fatalf("triangle nodes %d != triangle edge slots %d", nt[3], et[2])
+	}
+	if nt[5] != 2*et[4] { // P4: 2 mids per mid edge
+		t.Fatalf("P4 mids %d != 2×mid edges %d", nt[5], et[4])
+	}
+	if nt[7]*3 != et[5] { // star: 3 edge slots per centre
+		t.Fatalf("star centres %d vs star edges %d", nt[7], et[5])
+	}
+	if nt[8] != et[6] { // C4: 4 nodes ↔ 4 edges
+		t.Fatalf("C4 nodes %d != C4 edges %d", nt[8], et[6])
+	}
+	if nt[9] != et[7] { // paw: 1 tail node ↔ 1 tail edge
+		t.Fatalf("paw tails %d != tail edges %d", nt[9], et[7])
+	}
+	if nt[13] != 2*et[11] { // diamond: 2 hubs per central edge
+		t.Fatalf("diamond hubs %d != 2×central edges %d", nt[13], et[11])
+	}
+	if nt[14]*6 != 4*et[12] { // K4: 4 nodes, 6 edges
+		t.Fatalf("K4 nodes %d vs K4 edges %d", nt[14], et[12])
+	}
+}
+
+func TestCountNodesFromForeignCountsPanics(t *testing.T) {
+	g1 := completeGraph(4)
+	g2 := completeGraph(4)
+	counts := Count(g1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CountNodesFrom(g2, counts)
+}
+
+func BenchmarkCountNodesER1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyi(1000, 0.01, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountNodes(g)
+	}
+}

@@ -1,0 +1,274 @@
+package orbit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htc-align/htc/internal/graph"
+)
+
+func buildGraph(n int, edges [][2]int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func row(t *testing.T, c *Counts, u, v int) []int64 {
+	t.Helper()
+	r := c.Of(c.G.EdgeIndex(), u, v)
+	if r == nil {
+		t.Fatalf("edge (%d,%d) missing", u, v)
+	}
+	return r
+}
+
+func wantRow(t *testing.T, got []int64, want [NumOrbits]int64, label string) {
+	t.Helper()
+	for k := 0; k < NumOrbits; k++ {
+		if got[k] != want[k] {
+			t.Fatalf("%s orbit %d (%s): got %d, want %d (full row %v)",
+				label, k, Names[k], got[k], want[k], got)
+		}
+	}
+}
+
+// TestFigure5Example reproduces the worked example of the paper's Fig. 5:
+// a triangle {a,b,c} with pendant d attached to b and pendant e attached
+// to c. The paper's table gives the first five orbit counts of (a,b) as
+// (1,1,1,0,0) and of (b,c) as (1,2,1,0,1).
+func TestFigure5Example(t *testing.T) {
+	const a, b, c, d, e = 0, 1, 2, 3, 4
+	g := buildGraph(5, [][2]int{{a, b}, {b, c}, {a, c}, {b, d}, {c, e}})
+	counts := Count(g)
+
+	ab := row(t, counts, a, b)
+	for k, want := range []int64{1, 1, 1, 0, 0} {
+		if ab[k] != want {
+			t.Fatalf("(a,b) orbit %d = %d, want %d", k, ab[k], want)
+		}
+	}
+	bc := row(t, counts, b, c)
+	for k, want := range []int64{1, 2, 1, 0, 1} {
+		if bc[k] != want {
+			t.Fatalf("(b,c) orbit %d = %d, want %d", k, bc[k], want)
+		}
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	g := buildGraph(2, [][2]int{{0, 1}})
+	counts := Count(g)
+	wantRow(t, row(t, counts, 0, 1), [NumOrbits]int64{0: 1}, "K2")
+}
+
+func TestTriangle(t *testing.T) {
+	g := buildGraph(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	counts := Count(g)
+	wantRow(t, row(t, counts, 0, 1), [NumOrbits]int64{0: 1, 2: 1}, "K3")
+}
+
+func TestPathP4(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	counts := Count(g)
+	wantRow(t, row(t, counts, 0, 1), [NumOrbits]int64{0: 1, 1: 1, 3: 1}, "P4 end")
+	wantRow(t, row(t, counts, 1, 2), [NumOrbits]int64{0: 1, 1: 2, 4: 1}, "P4 mid")
+}
+
+func TestStar(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	counts := Count(g)
+	wantRow(t, row(t, counts, 0, 1), [NumOrbits]int64{0: 1, 1: 2, 5: 1}, "K1,3")
+}
+
+func TestCycleC4(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	counts := Count(g)
+	wantRow(t, row(t, counts, 0, 1), [NumOrbits]int64{0: 1, 1: 2, 6: 1}, "C4")
+}
+
+func TestPaw(t *testing.T) {
+	// Triangle {0,1,2} with tail 3 attached to 0.
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}})
+	counts := Count(g)
+	wantRow(t, row(t, counts, 0, 3), [NumOrbits]int64{0: 1, 1: 2, 7: 1}, "paw tail")
+	wantRow(t, row(t, counts, 0, 1), [NumOrbits]int64{0: 1, 1: 1, 2: 1, 8: 1}, "paw near")
+	// Edge (1,2) has no induced P3: node 0 is adjacent to both endpoints
+	// and node 3 to neither, so orbit 1 is 0.
+	wantRow(t, row(t, counts, 1, 2), [NumOrbits]int64{0: 1, 2: 1, 9: 1}, "paw far")
+}
+
+func TestDiamond(t *testing.T) {
+	// K4 minus edge (2,3): hubs 0,1; rim 2,3.
+	g := buildGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}})
+	counts := Count(g)
+	wantRow(t, row(t, counts, 0, 1), [NumOrbits]int64{0: 1, 2: 2, 11: 1}, "diamond central")
+	wantRow(t, row(t, counts, 0, 2), [NumOrbits]int64{0: 1, 1: 1, 2: 1, 10: 1}, "diamond outer")
+}
+
+func TestK4(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	counts := Count(g)
+	wantRow(t, row(t, counts, 0, 1), [NumOrbits]int64{0: 1, 2: 2, 12: 1}, "K4")
+}
+
+func TestFastMatchesBruteOnNamedGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"fig5":     buildGraph(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 4}}),
+		"bull":     buildGraph(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 4}}),
+		"k5":       completeGraph(5),
+		"petersen": petersen(),
+		"empty":    buildGraph(4, nil),
+		"twoComp":  buildGraph(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}}),
+	}
+	for name, g := range graphs {
+		fast, brute := Count(g), CountBrute(g)
+		for i := range fast.PerEdge {
+			if fast.PerEdge[i] != brute.PerEdge[i] {
+				t.Errorf("%s edge %v: fast %v != brute %v",
+					name, g.Edges()[i], fast.PerEdge[i], brute.PerEdge[i])
+			}
+		}
+	}
+}
+
+func completeGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func petersen() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)     // outer cycle
+		b.AddEdge(i+5, (i+2)%5+5) // inner pentagram
+		b.AddEdge(i, i+5)         // spokes
+	}
+	return b.Build()
+}
+
+func TestFastMatchesBruteRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(14)
+		p := 0.15 + 0.4*rng.Float64()
+		g := graph.ErdosRenyi(n, p, rng)
+		fast, brute := Count(g), CountBrute(g)
+		for i := range fast.PerEdge {
+			if fast.PerEdge[i] != brute.PerEdge[i] {
+				t.Logf("seed %d edge %v: fast %v brute %v", seed, g.Edges()[i], fast.PerEdge[i], brute.PerEdge[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := graph.ErdosRenyi(40, 0.2, rng)
+	totals := Count(g).Totals()
+
+	if totals[0] != int64(g.NumEdges()) {
+		t.Fatalf("orbit0 total = %d, want %d", totals[0], g.NumEdges())
+	}
+	// Each triangle contributes its 3 edges to orbit 2.
+	if totals[2]%3 != 0 {
+		t.Fatalf("orbit2 total %d not divisible by 3", totals[2])
+	}
+	// Each P3 contributes both edges to orbit 1.
+	if totals[1]%2 != 0 {
+		t.Fatalf("orbit1 total %d not divisible by 2", totals[1])
+	}
+	// Each P4 has two end edges and one middle edge.
+	if totals[3] != 2*totals[4] {
+		t.Fatalf("P4 end/mid mismatch: %d vs %d", totals[3], totals[4])
+	}
+	// Each star has 3 edges; each C4 contributes 4 edges.
+	if totals[5]%3 != 0 || totals[6]%4 != 0 {
+		t.Fatalf("star/C4 divisibility: %d, %d", totals[5], totals[6])
+	}
+	// Each paw: one tail, two near, one far.
+	if totals[8] != 2*totals[7] || totals[9] != totals[7] {
+		t.Fatalf("paw role mismatch: tail=%d near=%d far=%d", totals[7], totals[8], totals[9])
+	}
+	// Each diamond: four outer, one central. Each K4 has six edges.
+	if totals[10] != 4*totals[11] {
+		t.Fatalf("diamond role mismatch: outer=%d central=%d", totals[10], totals[11])
+	}
+	if totals[12]%6 != 0 {
+		t.Fatalf("K4 total %d not divisible by 6", totals[12])
+	}
+}
+
+func TestParallelPathMatchesBrute(t *testing.T) {
+	// ER(60, 0.6) has well over 256 edges, forcing the sharded path.
+	rng := rand.New(rand.NewSource(77))
+	g := graph.ErdosRenyi(60, 0.6, rng)
+	if g.NumEdges() < 256 {
+		t.Fatalf("test graph too small (%d edges) to exercise the parallel path", g.NumEdges())
+	}
+	fast, brute := Count(g), CountBrute(g)
+	for i := range fast.PerEdge {
+		if fast.PerEdge[i] != brute.PerEdge[i] {
+			t.Fatalf("edge %v: fast %v != brute %v", g.Edges()[i], fast.PerEdge[i], brute.PerEdge[i])
+		}
+	}
+}
+
+func TestCountDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g := graph.ErdosRenyi(200, 0.1, rng)
+	a, b := Count(g), Count(g)
+	for i := range a.PerEdge {
+		if a.PerEdge[i] != b.PerEdge[i] {
+			t.Fatal("parallel counting not deterministic")
+		}
+	}
+}
+
+func TestOfMissingEdge(t *testing.T) {
+	g := buildGraph(3, [][2]int{{0, 1}})
+	counts := Count(g)
+	if counts.Of(g.EdgeIndex(), 0, 2) != nil {
+		t.Fatal("Of must return nil for a missing edge")
+	}
+}
+
+func TestCountEmptyGraph(t *testing.T) {
+	g := buildGraph(5, nil)
+	counts := Count(g)
+	if len(counts.PerEdge) != 0 {
+		t.Fatal("empty graph must produce no rows")
+	}
+}
+
+func BenchmarkCountER1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyi(1000, 0.01, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(g)
+	}
+}
+
+func BenchmarkCountDense300(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ErdosRenyi(300, 0.15, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(g)
+	}
+}

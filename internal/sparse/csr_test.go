@@ -1,0 +1,186 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+func randomSparseDense(r, c int, density float64, rng *rand.Rand) *dense.Matrix {
+	m := dense.New(r, c)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestFromEntriesBasics(t *testing.T) {
+	m := FromEntries(3, 3, []Entry{
+		{0, 1, 2}, {1, 2, 3}, {2, 0, 4}, {0, 1, 5}, // duplicate (0,1) sums to 7
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At(0,1) = %v, want 7 (summed duplicates)", m.At(0, 1))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatalf("At(0,0) = %v, want 0", m.At(0, 0))
+	}
+}
+
+func TestFromEntriesDropsCancellingDuplicates(t *testing.T) {
+	m := FromEntries(2, 2, []Entry{{0, 0, 1}, {0, 0, -1}, {1, 1, 5}})
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (cancelled duplicate kept)", m.NNZ())
+	}
+}
+
+func TestFromEntriesOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds entry")
+		}
+	}()
+	FromEntries(2, 2, []Entry{{5, 0, 1}})
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		d := randomSparseDense(r, c, 0.4, rng)
+		return FromDense(d).ToDense().Equal(d, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		d := randomSparseDense(r, c, 0.4, rng)
+		return FromDense(d).Transpose().ToDense().Equal(d.T(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDenseMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randomSparseDense(m, k, 0.35, rng)
+		x := randomSparseDense(k, n, 1.0, rng)
+		got := FromDense(a).MulDense(x)
+		want := dense.Mul(a, x)
+		return got.Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDenseLargeParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSparseDense(300, 300, 0.05, rng)
+	x := randomSparseDense(300, 40, 1.0, rng)
+	got := FromDense(a).MulDense(x)
+	if !got.Equal(dense.Mul(a, x), 1e-8) {
+		t.Fatal("parallel sparse MulDense disagrees with dense product")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromEntries(2, 3, []Entry{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	y := a.MulVec([]float64{1, 2, 3})
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestDotDense(t *testing.T) {
+	a := FromEntries(2, 2, []Entry{{0, 1, 2}, {1, 0, 3}})
+	x := dense.FromRows([][]float64{{10, 20}, {30, 40}})
+	// 2*20 + 3*30 = 130.
+	if got := a.DotDense(x); got != 130 {
+		t.Fatalf("DotDense = %v, want 130", got)
+	}
+}
+
+func TestRowSumsRowMax(t *testing.T) {
+	a := FromEntries(3, 3, []Entry{{0, 0, 1}, {0, 2, 5}, {2, 1, -2}})
+	sums := a.RowSums()
+	if sums[0] != 6 || sums[1] != 0 || sums[2] != -2 {
+		t.Fatalf("RowSums = %v", sums)
+	}
+	maxes := a.RowMax()
+	if maxes[0] != 5 || maxes[1] != 0 || maxes[2] != -2 {
+		t.Fatalf("RowMax = %v", maxes)
+	}
+}
+
+func TestDiagScale(t *testing.T) {
+	a := FromEntries(2, 2, []Entry{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}})
+	scaled := a.DiagScale([]float64{2, 3}, []float64{5, 7})
+	if scaled.At(0, 0) != 10 || scaled.At(0, 1) != 28 || scaled.At(1, 1) != 63 {
+		t.Fatalf("DiagScale = %v", scaled.ToDense())
+	}
+	// Original must be untouched.
+	if a.At(0, 0) != 1 {
+		t.Fatal("DiagScale mutated its receiver")
+	}
+}
+
+func TestDiagScaleNilIsIdentity(t *testing.T) {
+	a := FromEntries(2, 2, []Entry{{0, 1, 4}})
+	if !a.DiagScale(nil, nil).ToDense().Equal(a.ToDense(), 0) {
+		t.Fatal("DiagScale(nil, nil) changed the matrix")
+	}
+	left := a.DiagScale([]float64{2, 2}, nil)
+	if left.At(0, 1) != 8 {
+		t.Fatalf("left-only DiagScale = %v", left.At(0, 1))
+	}
+}
+
+func TestFrobNorm(t *testing.T) {
+	a := FromEntries(2, 2, []Entry{{0, 0, 3}, {1, 1, 4}})
+	if math.Abs(a.FrobNorm()-5) > 1e-12 {
+		t.Fatalf("FrobNorm = %v", a.FrobNorm())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromEntries(1, 1, []Entry{{0, 0, 1}})
+	b := a.Clone()
+	b.Val[0] = 99
+	if a.Val[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestAtEmptyRow(t *testing.T) {
+	a := FromEntries(3, 3, []Entry{{0, 0, 1}})
+	if a.At(1, 1) != 0 {
+		t.Fatal("At on empty row should be 0")
+	}
+}
+
+func BenchmarkMulDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := FromDense(randomSparseDense(1000, 1000, 0.01, rng))
+	x := randomSparseDense(1000, 64, 1.0, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulDense(x)
+	}
+}

@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// MulDense returns c·x for a CSR matrix c (m×k) and dense x (k×n). This is
+// the aggregation kernel of the orbit-weighted GCN: every layer computes
+// L̃·(H·W) through it. Rows of the result are computed in parallel.
+func (c *CSR) MulDense(x *dense.Matrix) *dense.Matrix {
+	out := dense.New(c.Rows, x.Cols)
+	c.MulDenseInto(out, x)
+	return out
+}
+
+// MulDenseInto computes dst = c·x, overwriting dst.
+func (c *CSR) MulDenseInto(dst, x *dense.Matrix) {
+	if c.Cols != x.Rows || dst.Rows != c.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: MulDense dimension mismatch %s · %dx%d -> %dx%d",
+			c, x.Rows, x.Cols, dst.Rows, dst.Cols))
+	}
+	n := x.Cols
+	dst.Zero()
+	parallelRows(c.Rows, avgRowCost(c)*n, func(start, end int) {
+		for i := start; i < end; i++ {
+			di := dst.Row(i)
+			for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+				v := c.Val[p]
+				xj := x.Row(int(c.ColIdx[p]))
+				for q, xv := range xj {
+					di[q] += v * xv
+				}
+			}
+		}
+	})
+}
+
+// MulVec returns c·x for a vector x of length c.Cols.
+func (c *CSR) MulVec(x []float64) []float64 {
+	if c.Cols != len(x) {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch %s · %d", c, len(x)))
+	}
+	out := make([]float64, c.Rows)
+	for i := 0; i < c.Rows; i++ {
+		var s float64
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			s += c.Val[p] * x[c.ColIdx[p]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// DotDense returns Σ_(i,j) c(i,j)·x(i,j), the inner product between the
+// sparse matrix and a dense one. The reconstruction loss uses it to
+// evaluate tr(L̃ᵀ·HHᵀ) without forming the n×n reconstruction.
+func (c *CSR) DotDense(x *dense.Matrix) float64 {
+	if c.Rows != x.Rows || c.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: DotDense shape mismatch %s vs %dx%d", c, x.Rows, x.Cols))
+	}
+	var s float64
+	for i := 0; i < c.Rows; i++ {
+		xi := x.Row(i)
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			s += c.Val[p] * xi[c.ColIdx[p]]
+		}
+	}
+	return s
+}
+
+func avgRowCost(c *CSR) int {
+	if c.Rows == 0 {
+		return 1
+	}
+	return 1 + c.NNZ()/c.Rows
+}
+
+// parallelRows mirrors the helper in the dense package: it splits [0, n)
+// across GOMAXPROCS workers when the estimated work justifies it.
+func parallelRows(n, cost int, fn func(start, end int)) {
+	const minWork = 1 << 15
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n*cost < minWork {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

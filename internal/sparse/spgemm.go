@@ -1,0 +1,93 @@
+package sparse
+
+import "fmt"
+
+// Mul returns the sparse product a·b as a new CSR matrix, computed with
+// Gustavson's row-wise algorithm: O(Σ flops of non-zero pairings). It is
+// the tool for composing aggregation operators (for example diffusion
+// powers) without densifying.
+func Mul(a, b *CSR) *CSR {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: Mul dimension mismatch %s · %s", a, b))
+	}
+	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int32, a.Rows+1)}
+	acc := make([]float64, b.Cols)   // dense accumulator for one row
+	touched := make([]int32, 0, 256) // columns written this row
+	mark := make([]bool, b.Cols)
+
+	for i := 0; i < a.Rows; i++ {
+		touched = touched[:0]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			av := a.Val[p]
+			k := a.ColIdx[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				j := b.ColIdx[q]
+				if !mark[j] {
+					mark[j] = true
+					touched = append(touched, j)
+				}
+				acc[j] += av * b.Val[q]
+			}
+		}
+		// Emit the row in sorted column order (CSR invariant).
+		sortInt32(touched)
+		for _, j := range touched {
+			if acc[j] != 0 {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Val = append(out.Val, acc[j])
+			}
+			acc[j] = 0
+			mark[j] = false
+		}
+		out.RowPtr[i+1] = int32(len(out.Val))
+	}
+	return out
+}
+
+// Add returns alpha·a + beta·b for same-shaped sparse matrices.
+func Add(a, b *CSR, alpha, beta float64) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("sparse: Add shape mismatch %s vs %s", a, b))
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int32, a.Rows+1)}
+	for i := 0; i < a.Rows; i++ {
+		pa, pb := a.RowPtr[i], b.RowPtr[i]
+		ea, eb := a.RowPtr[i+1], b.RowPtr[i+1]
+		for pa < ea || pb < eb {
+			var col int32
+			var val float64
+			switch {
+			case pb >= eb || (pa < ea && a.ColIdx[pa] < b.ColIdx[pb]):
+				col, val = a.ColIdx[pa], alpha*a.Val[pa]
+				pa++
+			case pa >= ea || b.ColIdx[pb] < a.ColIdx[pa]:
+				col, val = b.ColIdx[pb], beta*b.Val[pb]
+				pb++
+			default: // equal columns
+				col, val = a.ColIdx[pa], alpha*a.Val[pa]+beta*b.Val[pb]
+				pa++
+				pb++
+			}
+			if val != 0 {
+				out.ColIdx = append(out.ColIdx, col)
+				out.Val = append(out.Val, val)
+			}
+		}
+		out.RowPtr[i+1] = int32(len(out.Val))
+	}
+	return out
+}
+
+// sortInt32 is an insertion sort: touched-column lists are short and
+// nearly sorted, where insertion sort beats the generic sort.
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

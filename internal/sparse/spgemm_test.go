@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+func TestSparseMulMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randomSparseDense(m, k, 0.3, rng)
+		b := randomSparseDense(k, n, 0.3, rng)
+		got := Mul(FromDense(a), FromDense(b)).ToDense()
+		return got.Equal(dense.Mul(a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseMulRowsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := FromDense(randomSparseDense(20, 20, 0.3, rng))
+	c := Mul(a, a)
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i] + 1; p < c.RowPtr[i+1]; p++ {
+			if c.ColIdx[p-1] >= c.ColIdx[p] {
+				t.Fatalf("row %d columns not strictly sorted", i)
+			}
+		}
+	}
+}
+
+func TestSparseMulDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(FromEntries(2, 3, nil), FromEntries(2, 3, nil))
+}
+
+func TestSparseAddMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randomSparseDense(m, n, 0.3, rng)
+		b := randomSparseDense(m, n, 0.3, rng)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		got := Add(FromDense(a), FromDense(b), alpha, beta).ToDense()
+		want := dense.New(m, n)
+		want.AddScaled(a, alpha)
+		want.AddScaled(b, beta)
+		return got.Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseAddCancellation(t *testing.T) {
+	a := FromEntries(1, 2, []Entry{{0, 0, 2}, {0, 1, 3}})
+	c := Add(a, a, 1, -1)
+	if c.NNZ() != 0 {
+		t.Fatalf("a − a has %d stored entries, want 0", c.NNZ())
+	}
+}
+
+func TestSparseAddShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(FromEntries(1, 2, nil), FromEntries(2, 1, nil), 1, 1)
+}
+
+func TestSparseMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := FromDense(randomSparseDense(15, 15, 0.3, rng))
+	var id []Entry
+	for i := int32(0); i < 15; i++ {
+		id = append(id, Entry{i, i, 1})
+	}
+	eye := FromEntries(15, 15, id)
+	if !Mul(a, eye).ToDense().Equal(a.ToDense(), 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !Mul(eye, a).ToDense().Equal(a.ToDense(), 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestSortInt32(t *testing.T) {
+	xs := []int32{5, 1, 4, 1, 3}
+	sortInt32(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+	sortInt32(nil) // must not panic
+}

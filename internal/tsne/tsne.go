@@ -1,0 +1,233 @@
+// Package tsne implements exact t-SNE (van der Maaten & Hinton, JMLR
+// 2008) for the paper's Fig. 11 visualisation of anchor embeddings before
+// and after alignment. The O(n²) exact formulation is the reference
+// algorithm and is comfortably fast at the figure's scale (a few hundred
+// points).
+package tsne
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// Config controls the embedding.
+type Config struct {
+	// Perplexity is the effective neighbourhood size (default 30, capped
+	// at (n−1)/3).
+	Perplexity float64
+	// Iters is the number of gradient steps (default 400).
+	Iters int
+	// LearningRate is the gradient step size (default 100).
+	LearningRate float64
+	// Seed drives the initial layout.
+	Seed int64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Perplexity <= 0 {
+		c.Perplexity = 30
+	}
+	if maxPerp := float64(n-1) / 3; c.Perplexity > maxPerp && maxPerp > 1 {
+		c.Perplexity = maxPerp
+	}
+	if c.Iters <= 0 {
+		c.Iters = 400
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 100
+	}
+	return c
+}
+
+// Embed maps the rows of x (n×d) to 2-D coordinates.
+func Embed(x *dense.Matrix, cfg Config) *dense.Matrix {
+	n := x.Rows
+	if n == 0 {
+		return dense.New(0, 2)
+	}
+	if n == 1 {
+		return dense.New(1, 2)
+	}
+	cfg = cfg.withDefaults(n)
+
+	p := affinities(x, cfg.Perplexity)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	y := dense.New(n, 2)
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64() * 1e-4
+	}
+	vel := dense.New(n, 2)
+	gains := dense.New(n, 2)
+	gains.Fill(1)
+
+	const exaggeration = 4.0
+	const exaggerationIters = 100
+	p.Scale(exaggeration)
+
+	q := dense.New(n, n)
+	grad := dense.New(n, 2)
+	for iter := 0; iter < cfg.Iters; iter++ {
+		if iter == exaggerationIters {
+			p.Scale(1 / exaggeration)
+		}
+		momentum := 0.5
+		if iter >= 250 {
+			momentum = 0.8
+		}
+		// Student-t affinities in the embedding.
+		var qSum float64
+		for i := 0; i < n; i++ {
+			yi := y.Row(i)
+			qi := q.Row(i)
+			for j := 0; j < n; j++ {
+				if i == j {
+					qi[j] = 0
+					continue
+				}
+				yj := y.Row(j)
+				d0 := yi[0] - yj[0]
+				d1 := yi[1] - yj[1]
+				qi[j] = 1 / (1 + d0*d0 + d1*d1)
+				qSum += qi[j]
+			}
+		}
+		grad.Zero()
+		for i := 0; i < n; i++ {
+			yi := y.Row(i)
+			gi := grad.Row(i)
+			pi := p.Row(i)
+			qi := q.Row(i)
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				yj := y.Row(j)
+				mult := 4 * (pi[j] - qi[j]/qSum) * qi[j]
+				gi[0] += mult * (yi[0] - yj[0])
+				gi[1] += mult * (yi[1] - yj[1])
+			}
+		}
+		// Adaptive gains + momentum update (the standard implementation).
+		for k := range y.Data {
+			if (grad.Data[k] > 0) == (vel.Data[k] > 0) {
+				gains.Data[k] *= 0.8
+			} else {
+				gains.Data[k] += 0.2
+			}
+			if gains.Data[k] < 0.01 {
+				gains.Data[k] = 0.01
+			}
+			vel.Data[k] = momentum*vel.Data[k] - cfg.LearningRate*gains.Data[k]*grad.Data[k]
+			y.Data[k] += vel.Data[k]
+		}
+		// Re-centre to remove drift.
+		var m0, m1 float64
+		for i := 0; i < n; i++ {
+			m0 += y.At(i, 0)
+			m1 += y.At(i, 1)
+		}
+		m0 /= float64(n)
+		m1 /= float64(n)
+		for i := 0; i < n; i++ {
+			y.Set(i, 0, y.At(i, 0)-m0)
+			y.Set(i, 1, y.At(i, 1)-m1)
+		}
+	}
+	return y
+}
+
+// affinities builds the symmetrised high-dimensional affinity matrix with
+// per-point bandwidths calibrated to the target perplexity by binary
+// search.
+func affinities(x *dense.Matrix, perplexity float64) *dense.Matrix {
+	n := x.Rows
+	d2 := pairwiseSq(x)
+	target := math.Log(perplexity)
+	p := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		betaLo, betaHi := 0.0, math.Inf(1)
+		beta := 1.0
+		row := d2.Row(i)
+		pi := p.Row(i)
+		for step := 0; step < 64; step++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					pi[j] = 0
+					continue
+				}
+				pi[j] = math.Exp(-row[j] * beta)
+				sum += pi[j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			// Shannon entropy of the conditional distribution.
+			var h float64
+			for j := 0; j < n; j++ {
+				if j == i || pi[j] == 0 {
+					continue
+				}
+				pj := pi[j] / sum
+				h -= pj * math.Log(pj)
+			}
+			diff := h - target
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 { // entropy too high → sharpen
+				betaLo = beta
+				if math.IsInf(betaHi, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaHi) / 2
+				}
+			} else {
+				betaHi = beta
+				beta = (beta + betaLo) / 2
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += pi[j]
+		}
+		if sum > 0 {
+			for j := 0; j < n; j++ {
+				pi[j] /= sum
+			}
+		}
+	}
+	// Symmetrise: P = (P + Pᵀ) / 2n, floored away from zero.
+	pt := p.T()
+	p.Add(pt)
+	p.Scale(1 / (2 * float64(n)))
+	p.Apply(func(v float64) float64 {
+		if v < 1e-12 {
+			return 1e-12
+		}
+		return v
+	})
+	return p
+}
+
+func pairwiseSq(x *dense.Matrix) *dense.Matrix {
+	n := x.Rows
+	d2 := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			xj := x.Row(j)
+			var s float64
+			for k := range xi {
+				diff := xi[k] - xj[k]
+				s += diff * diff
+			}
+			d2.Set(i, j, s)
+			d2.Set(j, i, s)
+		}
+	}
+	return d2
+}

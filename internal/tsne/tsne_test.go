@@ -1,0 +1,119 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// twoClusters builds n points in d dimensions split between two
+// well-separated Gaussian blobs; the first half belongs to cluster 0.
+func twoClusters(n, d int, seed int64) *dense.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	x := dense.New(n, d)
+	for i := 0; i < n; i++ {
+		offset := 0.0
+		if i >= n/2 {
+			offset = 10
+		}
+		row := x.Row(i)
+		for j := range row {
+			row[j] = offset + rng.NormFloat64()*0.5
+		}
+	}
+	return x
+}
+
+func TestEmbedShapes(t *testing.T) {
+	x := twoClusters(40, 8, 1)
+	y := Embed(x, Config{Iters: 120, Seed: 2})
+	if y.Rows != 40 || y.Cols != 2 {
+		t.Fatalf("embedding shape %dx%d", y.Rows, y.Cols)
+	}
+	for _, v := range y.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite coordinate")
+		}
+	}
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	n := 60
+	x := twoClusters(n, 10, 3)
+	y := Embed(x, Config{Iters: 300, Perplexity: 10, Seed: 4})
+
+	intra, inter := 0.0, 0.0
+	var nIntra, nInter int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d0 := y.At(i, 0) - y.At(j, 0)
+			d1 := y.At(i, 1) - y.At(j, 1)
+			dist := math.Sqrt(d0*d0 + d1*d1)
+			if (i < n/2) == (j < n/2) {
+				intra += dist
+				nIntra++
+			} else {
+				inter += dist
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if inter < 2*intra {
+		t.Fatalf("clusters not separated: intra=%.3f inter=%.3f", intra, inter)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	x := twoClusters(30, 6, 5)
+	a := Embed(x, Config{Iters: 100, Seed: 7})
+	b := Embed(x, Config{Iters: 100, Seed: 7})
+	if !a.Equal(b, 0) {
+		t.Fatal("t-SNE not deterministic for equal seeds")
+	}
+}
+
+func TestEmbedTinyInputs(t *testing.T) {
+	if y := Embed(dense.New(0, 3), Config{}); y.Rows != 0 {
+		t.Fatal("empty input must give empty output")
+	}
+	if y := Embed(dense.New(1, 3), Config{}); y.Rows != 1 || y.At(0, 0) != 0 {
+		t.Fatal("single point must map to origin")
+	}
+	// Two identical points: must not NaN.
+	x := dense.New(2, 3)
+	y := Embed(x, Config{Iters: 50, Seed: 1})
+	for _, v := range y.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN for degenerate input")
+		}
+	}
+}
+
+func TestEmbedCentered(t *testing.T) {
+	x := twoClusters(24, 5, 8)
+	y := Embed(x, Config{Iters: 150, Seed: 9})
+	var m0, m1 float64
+	for i := 0; i < y.Rows; i++ {
+		m0 += y.At(i, 0)
+		m1 += y.At(i, 1)
+	}
+	if math.Abs(m0) > 1e-6*float64(y.Rows) || math.Abs(m1) > 1e-6*float64(y.Rows) {
+		t.Fatalf("embedding not centred: (%v, %v)", m0, m1)
+	}
+}
+
+func TestConfigDefaultsAndPerplexityCap(t *testing.T) {
+	c := Config{}.withDefaults(100)
+	if c.Perplexity != 30 || c.Iters != 400 || c.LearningRate != 100 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// With few points the perplexity must be capped below (n−1)/3.
+	c = Config{Perplexity: 50}.withDefaults(10)
+	if c.Perplexity != 3 {
+		t.Fatalf("capped perplexity = %v, want 3", c.Perplexity)
+	}
+}
