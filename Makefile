@@ -1,0 +1,28 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
+# what CI runs.
+
+GO ?= go
+
+.PHONY: build test lint bench bench-snapshot ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "these files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# One iteration of every benchmark — a smoke run proving the bench
+# harness works, not a measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Refresh the serving-layer perf baseline compared across PRs.
+bench-snapshot:
+	./scripts/bench_snapshot.sh BENCH_server.json
+
+ci: lint build test bench

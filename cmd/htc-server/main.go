@@ -1,0 +1,97 @@
+// Command htc-server runs the HTC alignment service: an HTTP API backed
+// by a bounded job queue and worker pool that executes the pipeline of
+// internal/core per request and caches results by content hash.
+//
+// Usage:
+//
+//	htc-server [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	           [-max-nodes N] [-quiet]
+//
+// Endpoints (see internal/server):
+//
+//	POST   /v1/align      submit a job; body names a dataset or carries
+//	                      two inline edge-list graphs plus a config
+//	GET    /v1/jobs/{id}  poll status; the result rides along once done
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/healthz    liveness and queue occupancy
+//	GET    /v1/metrics    Prometheus text metrics
+//
+// Example:
+//
+//	htc-server -addr :8080 &
+//	curl -s localhost:8080/v1/align -d '{"dataset":"synthetic","n":120,"config":{"variant":"HTC-L","epochs":20}}'
+//	curl -s localhost:8080/v1/jobs/job-000001-xxxxxxx
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/htc-align/htc/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("htc-server: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", max(1, runtime.NumCPU()-1), "alignment worker pool size")
+	queueDepth := flag.Int("queue", 0, "submission backlog capacity (0 = 2×workers)")
+	cacheSize := flag.Int("cache", 128, "result cache capacity in entries")
+	maxNodes := flag.Int("max-nodes", 20000, "per-graph node limit at admission (-1 = unlimited)")
+	quiet := flag.Bool("quiet", false, "suppress per-job logging")
+	flag.Parse()
+
+	opts := server.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+		MaxNodes:   *maxNodes,
+	}
+	if !*quiet {
+		opts.Log = log.Default()
+	}
+	svc := server.New(opts)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, queue=%d, cache=%d, max-nodes=%d)",
+		*addr, opts.Workers, opts.QueueDepth, opts.CacheSize, opts.MaxNodes)
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutdown signal received, draining...")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	svc.Close() // cancels outstanding jobs, waits for workers
+	m := svc.Metrics()
+	log.Printf("served %d jobs (%d completed, %d failed, %d cancelled, %d cache hits)",
+		m.JobsSubmitted.Load(), m.JobsCompleted.Load(), m.JobsFailed.Load(),
+		m.JobsCancelled.Load(), m.CacheHits.Load())
+}

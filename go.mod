@@ -1,0 +1,3 @@
+module github.com/htc-align/htc
+
+go 1.24

@@ -1,6 +1,8 @@
 package align
 
 import (
+	"context"
+
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/nn"
 	"github.com/htc-align/htc/internal/sparse"
@@ -22,6 +24,10 @@ type FineTuneConfig struct {
 	// reinforced before the first iteration, seeding the discovery of
 	// potential anchors around them (the semi-supervised HTC-S mode).
 	KnownPairs [][2]int
+	// Ctx, when non-nil, is checked before each refinement iteration;
+	// once cancelled the loop stops early and returns the best result
+	// found so far (possibly with a nil M when cancelled immediately).
+	Ctx context.Context
 }
 
 func (c FineTuneConfig) withDefaults() FineTuneConfig {
@@ -78,6 +84,9 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 
 	res := &FineTuneResult{Trusted: -1}
 	for iter := 0; iter < cfg.MaxIters; iter++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			break
+		}
 		res.Iters = iter + 1
 		m := LISI(Corr(hs, ht), cfg.M)
 		pairs := TrustedPairs(m)

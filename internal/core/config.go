@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/htc-align/htc/internal/orbit"
@@ -51,55 +52,108 @@ func (v Variant) String() string {
 func (v Variant) usesOrbits() bool   { return v == Full || v == HighOrder }
 func (v Variant) usesFineTune() bool { return v == Full || v == LowOrderFT || v == DiffusionFT }
 
+// Variants lists every pipeline variant in definition order.
+func Variants() []Variant { return []Variant{Full, LowOrder, HighOrder, LowOrderFT, DiffusionFT} }
+
+// ParseVariant resolves a paper name ("HTC", "HTC-L", "HTC-H", "HTC-LT",
+// "HTC-DT", case-insensitive, the "HTC-" prefix optional for the
+// ablations) into a Variant.
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "", "HTC", "FULL":
+		return Full, nil
+	case "HTC-L", "L":
+		return LowOrder, nil
+	case "HTC-H", "H":
+		return HighOrder, nil
+	case "HTC-LT", "LT":
+		return LowOrderFT, nil
+	case "HTC-DT", "DT":
+		return DiffusionFT, nil
+	}
+	return Full, fmt.Errorf("core: unknown variant %q (want HTC, HTC-L, HTC-H, HTC-LT or HTC-DT)", s)
+}
+
+// MarshalText encodes the variant as its paper name, so JSON configs say
+// "HTC-DT" rather than an opaque enum number.
+func (v Variant) MarshalText() ([]byte, error) {
+	switch v {
+	case Full, LowOrder, HighOrder, LowOrderFT, DiffusionFT:
+		return []byte(v.String()), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown variant %d", int(v))
+}
+
+// UnmarshalText decodes a paper name via ParseVariant.
+func (v *Variant) UnmarshalText(text []byte) error {
+	parsed, err := ParseVariant(string(text))
+	if err != nil {
+		return err
+	}
+	*v = parsed
+	return nil
+}
+
 // Config holds the pipeline hyperparameters. The zero value is completed
 // by withDefaults to the paper's settings (§V-A), except that the default
 // embedding width is scaled to laptop-sized graphs.
+//
+// Config (de)serialises with encoding/json — the variant travels as its
+// paper name ("HTC-DT"), omitted fields select the defaults — so an HTTP
+// request body or a config file can carry a full pipeline configuration.
 type Config struct {
 	// Variant selects the ablation (default Full).
-	Variant Variant
+	Variant Variant `json:"variant,omitempty"`
 	// K is the number of orbits (default and maximum 13; ignored by
 	// LowOrder* variants, reused as diffusion order count by
 	// DiffusionFT).
-	K int
+	K int `json:"k,omitempty"`
 	// Hidden and Embed are the GCN widths: dims = [d, Hidden, Embed].
 	// Defaults 128 and 64.
-	Hidden, Embed int
+	Hidden int `json:"hidden,omitempty"`
+	Embed  int `json:"embed,omitempty"`
 	// Layers is the number of GCN layers, 2 or 3 (default 2, the paper's
 	// best setting).
-	Layers int
+	Layers int `json:"layers,omitempty"`
 	// Epochs is the number of training epochs (default 60).
-	Epochs int
+	Epochs int `json:"epochs,omitempty"`
 	// Patience, when positive, stops training early once the loss stops
 	// improving for that many epochs (0 = train the full budget, as in
 	// the paper).
-	Patience int
+	Patience int `json:"patience,omitempty"`
 	// LR is the Adam learning rate (default 0.01, as in the paper).
-	LR float64
+	LR float64 `json:"lr,omitempty"`
 	// M is the LISI neighbourhood size (default 20).
-	M int
+	M int `json:"m,omitempty"`
 	// Beta is the trusted-pair reinforcement rate (default 1.1).
-	Beta float64
+	Beta float64 `json:"beta,omitempty"`
 	// Binary switches the GOMs to their weaker binary form.
-	Binary bool
+	Binary bool `json:"binary,omitempty"`
 	// MaxFineTuneIters caps Algorithm 2's loop (default 30).
-	MaxFineTuneIters int
+	MaxFineTuneIters int `json:"max_fine_tune_iters,omitempty"`
 	// DiffusionAlpha is the PPR teleport probability of HTC-DT
 	// (default 0.15, the paper's best).
-	DiffusionAlpha float64
+	DiffusionAlpha float64 `json:"diffusion_alpha,omitempty"`
 	// Seed drives every random choice (weight init); equal seeds give
 	// bit-identical runs.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// KeepEmbeddings retains the per-orbit embeddings of each orbit's
 	// best fine-tuning iteration in the Result (memory-heavy; used by
 	// the Fig. 11 visualisation).
-	KeepEmbeddings bool
+	KeepEmbeddings bool `json:"keep_embeddings,omitempty"`
 	// Seeds are known anchor links (source, target). HTC is fully
 	// unsupervised, but Proposition 2 treats "trusted (or known)" anchor
 	// nodes uniformly: when seeds are supplied they are reinforced
 	// before the first fine-tuning iteration, giving the semi-supervised
 	// HTC-S mode. Variants without fine-tuning ignore them.
-	Seeds [][2]int
+	Seeds [][2]int `json:"anchor_seeds,omitempty"`
 }
+
+// WithDefaults returns the config with every unset field replaced by the
+// paper's default, i.e. the exact configuration Align will run. Callers
+// that key caches or logs on a Config should normalise through
+// WithDefaults first so that equivalent configs compare equal.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	if c.K <= 0 || c.K > orbit.NumOrbits {

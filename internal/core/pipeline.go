@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -76,8 +77,21 @@ func (r *Result) MatchOneToOne() []int {
 // only one side has attributes, or the dimensions differ, Align fails with
 // ErrAttrMismatch (alignment assumes a shared attribute space).
 func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
+	return AlignContext(context.Background(), gs, gt, cfg)
+}
+
+// AlignContext is Align with cooperative cancellation: the context is
+// checked at every stage boundary, between training epochs and between
+// fine-tuning iterations. When ctx is cancelled mid-run, AlignContext
+// stops promptly and returns ctx's error, so a server can reclaim the
+// worker goroutine of an abandoned job instead of burning CPU to the end.
+func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	xs, xt, err := featurePair(gs, gt)
 	if err != nil {
@@ -94,6 +108,9 @@ func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
 		countsS = orbit.Count(gs)
 		countsT = orbit.Count(gt)
 		res.Timings.OrbitCounting = time.Since(t0)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Stage 2: aggregation matrices (GOM Laplacians or alternatives).
@@ -115,14 +132,20 @@ func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
 		setT = gom.LowOrder(gt)
 	}
 	res.Timings.Laplacians = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 3: multi-orbit-aware training (Algorithm 1).
 	t0 = time.Now()
 	src := &nn.GraphData{Laps: setS.Laplacians, X: xs}
 	tgt := &nn.GraphData{Laps: setT.Laplacians, X: xt}
 	enc := newEncoder(cfg, xs.Cols)
-	res.LossHistory = nn.Train(enc, src, tgt, nn.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Patience: cfg.Patience})
+	res.LossHistory = nn.Train(enc, src, tgt, nn.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Patience: cfg.Patience, Ctx: ctx})
 	res.Timings.Training = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 4: per-orbit alignment matrices, fine-tuned when the variant
 	// calls for it (Algorithm 2).
@@ -131,7 +154,7 @@ func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
 	ms := make([]*dense.Matrix, k)
 	trusted := make([]int, k)
 	res.PerOrbit = make([]OrbitOutcome, k)
-	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds}
+	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Ctx: ctx}
 	if !cfg.Variant.usesFineTune() {
 		ftCfg.MaxIters = 1 // single pass: score + trusted count, no reinforcement rounds
 		ftCfg.KnownPairs = nil
@@ -141,6 +164,9 @@ func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
 		res.TargetEmbeddings = make([]*dense.Matrix, k)
 	}
 	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ft := align.FineTune(enc, setS.Laplacians[i], setT.Laplacians[i], xs, xt, ftCfg)
 		ms[i] = ft.M
 		trusted[i] = ft.Trusted
@@ -151,6 +177,9 @@ func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
 		}
 	}
 	res.Timings.FineTuning = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 5: posterior importance integration (Eq. 15).
 	t0 = time.Now()

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,6 +29,11 @@ type TrainConfig struct {
 	// OnEpoch, when non-nil, observes the summed reconstruction loss
 	// after each epoch (used for logging and convergence tests).
 	OnEpoch func(epoch int, loss float64)
+	// Ctx, when non-nil, is checked between epochs; once cancelled,
+	// Train stops and returns the history accumulated so far. Long-lived
+	// callers (the alignment server) use it to reclaim workers from
+	// abandoned jobs.
+	Ctx context.Context
 }
 
 // Train runs Algorithm 1 (multi-orbit-aware embedding): for every epoch it
@@ -46,6 +52,9 @@ func Train(enc *Encoder, src, tgt *GraphData, cfg TrainConfig) []float64 {
 	best := math.Inf(1)
 	sinceImprovement := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return history
+		}
 		grads := enc.ZeroGrads()
 		var total float64
 		for k := range src.Laps {

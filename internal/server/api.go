@@ -1,0 +1,256 @@
+// Package server turns the HTC pipeline into a long-running alignment
+// service: an HTTP API (submit, poll, cancel) backed by an in-process job
+// queue with a bounded worker pool, a content-addressed result cache, and
+// Prometheus-style metrics. The heavy lifting stays in internal/core; this
+// package contributes admission control, concurrency and serialisation.
+//
+// Endpoints:
+//
+//	POST   /v1/align      submit an alignment job (202; 200 on cache hit)
+//	GET    /v1/jobs/{id}  job status, result once done
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/healthz    liveness + queue occupancy
+//	GET    /v1/metrics    Prometheus text metrics
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/htc-align/htc/internal/core"
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/graph"
+)
+
+// GraphSpec carries one network inline in a request: an edge list over
+// nodes 0..Nodes−1 plus an optional attribute matrix (one row per node).
+// Self-loops and duplicate edges are ignored, matching graph.Builder.
+type GraphSpec struct {
+	Nodes int         `json:"nodes"`
+	Edges [][2]int    `json:"edges"`
+	Attrs [][]float64 `json:"attrs,omitempty"`
+}
+
+// Build validates the spec and constructs the immutable graph. maxNodes
+// bounds admission (0 = unlimited).
+func (g *GraphSpec) Build(maxNodes int) (*graph.Graph, error) {
+	if g.Nodes <= 0 {
+		return nil, fmt.Errorf("graph needs a positive node count, got %d", g.Nodes)
+	}
+	if maxNodes > 0 && g.Nodes > maxNodes {
+		return nil, fmt.Errorf("graph has %d nodes, server limit is %d", g.Nodes, maxNodes)
+	}
+	b := graph.NewBuilder(g.Nodes)
+	for i, e := range g.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= g.Nodes || v >= g.Nodes {
+			return nil, fmt.Errorf("edge %d (%d,%d) outside [0,%d)", i, u, v, g.Nodes)
+		}
+		b.AddEdge(u, v)
+	}
+	built := b.Build()
+	if len(g.Attrs) == 0 {
+		return built, nil
+	}
+	if len(g.Attrs) != g.Nodes {
+		return nil, fmt.Errorf("attrs have %d rows for %d nodes", len(g.Attrs), g.Nodes)
+	}
+	cols := len(g.Attrs[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("attrs rows must be non-empty")
+	}
+	x := dense.New(g.Nodes, cols)
+	for i, row := range g.Attrs {
+		if len(row) != cols {
+			return nil, fmt.Errorf("attrs row %d has %d values, want %d", i, len(row), cols)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("attrs[%d][%d] is not finite", i, j)
+			}
+		}
+		copy(x.Row(i), row)
+	}
+	return built.WithAttrs(x), nil
+}
+
+// AlignRequest is the body of POST /v1/align. A request names either a
+// built-in dataset (Dataset, with N/DataSeed/Remove tuning the generator)
+// or carries both graphs inline (Source/Target, with an optional Truth
+// map enabling evaluation). Config selects the pipeline hyperparameters;
+// omitted fields mean the paper's defaults.
+type AlignRequest struct {
+	// Dataset names a built-in pair; see Datasets() for valid names.
+	Dataset string `json:"dataset,omitempty"`
+	// N scales the built-in dataset (0 = the generator's default size).
+	N int `json:"n,omitempty"`
+	// DataSeed seeds the dataset generator (not the pipeline).
+	DataSeed int64 `json:"data_seed,omitempty"`
+	// Remove is the edge-removal ratio used to derive the target from
+	// single-network datasets (econ, bn, ppi, synthetic); default 0.1.
+	Remove float64 `json:"remove,omitempty"`
+
+	// Source and Target carry an inline graph pair.
+	Source *GraphSpec `json:"source,omitempty"`
+	Target *GraphSpec `json:"target,omitempty"`
+	// Truth optionally maps each source node to its true target anchor
+	// (−1 = unknown) so the server can report precision/MRR.
+	Truth []int `json:"truth,omitempty"`
+
+	// Config holds the pipeline hyperparameters (zero value = paper
+	// defaults).
+	Config core.Config `json:"config"`
+	// HitsAt lists the precision@q cutoffs to evaluate (default 1, 5, 10).
+	HitsAt []int `json:"hits_at,omitempty"`
+
+	// builtSource/builtTarget memoise the graphs constructed during
+	// validation so the worker doesn't rebuild (and re-scan the attrs
+	// of) large inline requests.
+	builtSource, builtTarget *graph.Graph
+}
+
+// validate performs the request checks that don't require running the
+// pipeline; every failure maps to a 400.
+func (r *AlignRequest) validate(maxNodes int) error {
+	inline := r.Source != nil || r.Target != nil
+	switch {
+	case r.Dataset != "" && inline:
+		return fmt.Errorf("request must name a dataset or carry inline graphs, not both")
+	case r.Dataset == "" && !inline:
+		return fmt.Errorf("request needs either a dataset name or inline source+target graphs")
+	case inline && (r.Source == nil || r.Target == nil):
+		return fmt.Errorf("inline requests need both source and target graphs")
+	}
+	if r.Dataset != "" {
+		if _, err := lookupDataset(r.Dataset); err != nil {
+			return err
+		}
+		if maxNodes > 0 && r.N > maxNodes {
+			return fmt.Errorf("n=%d exceeds server limit of %d nodes", r.N, maxNodes)
+		}
+		if len(r.Truth) > 0 {
+			return fmt.Errorf("truth is implied by built-in datasets; only inline requests may carry it")
+		}
+	}
+	if r.Remove < 0 || r.Remove >= 1 {
+		return fmt.Errorf("remove=%v outside [0,1)", r.Remove)
+	}
+	if inline {
+		// Build both specs now so malformed graphs are rejected at
+		// submit time rather than inside a worker; the built graphs are
+		// memoised for the worker.
+		gs, err := r.Source.Build(maxNodes)
+		if err != nil {
+			return fmt.Errorf("source: %w", err)
+		}
+		gt, err := r.Target.Build(maxNodes)
+		if err != nil {
+			return fmt.Errorf("target: %w", err)
+		}
+		r.builtSource, r.builtTarget = gs, gt
+		if len(r.Truth) > 0 {
+			if len(r.Truth) != r.Source.Nodes {
+				return fmt.Errorf("truth has %d entries for %d source nodes", len(r.Truth), r.Source.Nodes)
+			}
+			for s, t := range r.Truth {
+				if t >= r.Target.Nodes {
+					return fmt.Errorf("truth[%d]=%d outside %d target nodes", s, t, r.Target.Nodes)
+				}
+			}
+		}
+	}
+	for _, q := range r.HitsAt {
+		if q < 1 {
+			return fmt.Errorf("hits_at cutoffs must be ≥ 1, got %d", q)
+		}
+	}
+	if len(r.HitsAt) > 16 {
+		return fmt.Errorf("at most 16 hits_at cutoffs, got %d", len(r.HitsAt))
+	}
+	return nil
+}
+
+// cutoffs returns the sorted, deduplicated precision@q cutoffs, applying
+// the default when the request names none.
+func (r *AlignRequest) cutoffs() []int {
+	if len(r.HitsAt) == 0 {
+		return []int{1, 5, 10}
+	}
+	qs := append([]int(nil), r.HitsAt...)
+	sort.Ints(qs)
+	out := qs[:0]
+	for i, q := range qs {
+		if i == 0 || q != qs[i-1] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// OrbitReport mirrors core.OrbitOutcome with JSON tags.
+type OrbitReport struct {
+	Orbit   int     `json:"orbit"`
+	Trusted int     `json:"trusted"`
+	Gamma   float64 `json:"gamma"`
+	Iters   int     `json:"iters"`
+}
+
+// EvalReport carries the accuracy of a run against ground truth.
+type EvalReport struct {
+	// PrecisionAt maps the cutoff q to precision@q (Hits@q / anchors).
+	PrecisionAt map[int]float64 `json:"precision_at"`
+	MRR         float64         `json:"mrr"`
+	Anchors     int             `json:"anchors"`
+}
+
+// StageMS decomposes a run's wall-clock cost in milliseconds, the JSON
+// face of core.StageTimings.
+type StageMS struct {
+	OrbitCounting float64 `json:"orbit_counting"`
+	Laplacians    float64 `json:"laplacians"`
+	Training      float64 `json:"training"`
+	FineTuning    float64 `json:"fine_tuning"`
+	Integration   float64 `json:"integration"`
+	Total         float64 `json:"total"`
+}
+
+func stageMS(t core.StageTimings) StageMS {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return StageMS{
+		OrbitCounting: ms(t.OrbitCounting), Laplacians: ms(t.Laplacians),
+		Training: ms(t.Training), FineTuning: ms(t.FineTuning),
+		Integration: ms(t.Integration), Total: ms(t.Total),
+	}
+}
+
+// AlignResult is the payload of a completed job.
+type AlignResult struct {
+	// Pairs is the one-to-one matching: (source node, target node).
+	Pairs [][2]int `json:"pairs"`
+	// PerOrbit reports each orbit's trusted-pair count and posterior
+	// weight.
+	PerOrbit []OrbitReport `json:"per_orbit"`
+	// Eval is present when ground truth was available.
+	Eval *EvalReport `json:"eval,omitempty"`
+	// TimingsMS decomposes the run's cost by pipeline stage.
+	TimingsMS StageMS `json:"timings_ms"`
+	// EpochsTrained is the number of training epochs actually run.
+	EpochsTrained int `json:"epochs_trained"`
+	// Cached reports that the result was served from the content-hash
+	// cache rather than recomputed.
+	Cached bool `json:"cached"`
+}
+
+// JobInfo is the job-facing view returned by the submit and poll
+// endpoints.
+type JobInfo struct {
+	ID          string       `json:"id"`
+	Status      JobStatus    `json:"status"`
+	Error       string       `json:"error,omitempty"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	StartedAt   *time.Time   `json:"started_at,omitempty"`
+	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+	Result      *AlignResult `json:"result,omitempty"`
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// cacheKey derives the content hash that identifies an alignment: the
+// resolved request — graphs (or dataset coordinates), normalised pipeline
+// config and evaluation cutoffs — serialised canonically and hashed.
+// Requests that differ only in fields the run ignores (an unset epoch
+// count vs the explicit default) map to the same key.
+func cacheKey(req *AlignRequest) (string, error) {
+	canonical := struct {
+		Dataset  string      `json:"dataset,omitempty"`
+		N        int         `json:"n,omitempty"`
+		DataSeed int64       `json:"data_seed,omitempty"`
+		Remove   float64     `json:"remove,omitempty"`
+		Source   *GraphSpec  `json:"source,omitempty"`
+		Target   *GraphSpec  `json:"target,omitempty"`
+		Truth    []int       `json:"truth,omitempty"`
+		Config   interface{} `json:"config"`
+		HitsAt   []int       `json:"hits_at"`
+	}{
+		Dataset:  req.Dataset,
+		N:        req.N,
+		DataSeed: req.DataSeed,
+		Remove:   canonicalRemove(req),
+		Source:   req.Source,
+		Target:   req.Target,
+		Truth:    req.Truth,
+		Config:   req.Config.WithDefaults(),
+		HitsAt:   req.cutoffs(),
+	}
+	blob, err := json.Marshal(canonical)
+	if err != nil {
+		return "", fmt.Errorf("hashing request: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// resultCache is a bounded, thread-safe LRU from content hash to
+// completed AlignResult. Alignment is deterministic given the request
+// (every random choice is seed-driven), so cached results never go stale.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *AlignResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &resultCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns a copy of the cached result flagged Cached, or nil.
+func (c *resultCache) get(key string) *AlignResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	cp := *el.Value.(*cacheEntry).res
+	cp.Cached = true
+	return &cp
+}
+
+// put stores a result, evicting the least recently used entry when full.
+func (c *resultCache) put(key string, res *AlignResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

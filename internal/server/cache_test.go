@@ -1,0 +1,83 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/htc-align/htc/internal/core"
+)
+
+func TestCacheKeyNormalisation(t *testing.T) {
+	// An empty config and the explicit paper defaults are the same run,
+	// so they must share a key.
+	a := &AlignRequest{Dataset: "econ", N: 100}
+	b := &AlignRequest{Dataset: "econ", N: 100, Remove: 0.1,
+		Config: core.Config{}.WithDefaults(), HitsAt: []int{10, 1, 5, 5}}
+	ka, err := cacheKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := cacheKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Errorf("equivalent requests hash differently:\n%s\n%s", ka, kb)
+	}
+
+	// Datasets that ignore remove (two-network simulators) must hash
+	// the same regardless of it; inline requests ignore it too.
+	d1, err := cacheKey(&AlignRequest{Dataset: "douban"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := cacheKey(&AlignRequest{Dataset: "douban", Remove: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("douban ignores remove, so the keys must match")
+	}
+
+	// Any semantic difference must change the key.
+	for name, req := range map[string]*AlignRequest{
+		"different n":       {Dataset: "econ", N: 101},
+		"different seed":    {Dataset: "econ", N: 100, DataSeed: 9},
+		"different variant": {Dataset: "econ", N: 100, Config: core.Config{Variant: core.DiffusionFT}},
+		"different remove":  {Dataset: "econ", N: 100, Remove: 0.2},
+		"different cutoffs": {Dataset: "econ", N: 100, HitsAt: []int{1}},
+	} {
+		k, err := cacheKey(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == ka {
+			t.Errorf("%s: key collision", name)
+		}
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	r1, r2, r3 := &AlignResult{EpochsTrained: 1}, &AlignResult{EpochsTrained: 2}, &AlignResult{EpochsTrained: 3}
+	c.put("a", r1)
+	c.put("b", r2)
+	if got := c.get("a"); got == nil || got.EpochsTrained != 1 {
+		t.Fatalf("get(a) = %+v", got)
+	}
+	if !c.get("a").Cached {
+		t.Error("cache hits must be flagged Cached")
+	}
+	if c.get("a") == r1 {
+		t.Error("cache must return a copy, not the stored pointer")
+	}
+	c.put("c", r3) // evicts b, the least recently used
+	if c.get("b") != nil {
+		t.Error("b should have been evicted")
+	}
+	if c.get("a") == nil || c.get("c") == nil {
+		t.Error("a and c should survive")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/htc-align/htc/internal/datasets"
+	"github.com/htc-align/htc/internal/graph"
+)
+
+// datasetFn materialises a named dataset pair. n ≤ 0 selects the
+// generator's default size; remove is the edge-removal ratio used by the
+// single-network datasets to derive their target.
+type datasetFn func(n int, seed int64, remove float64) *datasets.Pair
+
+// pairFromGraph derives a (source, target, truth) pair from a single
+// network by edge removal and hidden relabelling, the construction the
+// paper's robustness study uses for Econ/BN.
+func pairFromGraph(name string, g *graph.Graph, remove float64, seed int64) *datasets.Pair {
+	tgt, truth := datasets.MakeTarget(g, remove, seed+1)
+	return &datasets.Pair{Name: name, Source: g, Target: tgt, Truth: truth}
+}
+
+// builtin couples a dataset generator with whether the request's remove
+// ratio actually drives it: the two-network simulators carry their own
+// noise model and ignore remove, so the cache key must ignore it too.
+type builtin struct {
+	fn         datasetFn
+	usesRemove bool
+}
+
+var builtinDatasets = map[string]builtin{
+	"douban": {fn: func(n int, seed int64, _ float64) *datasets.Pair {
+		return datasets.Douban(n, seed)
+	}},
+	"allmovie-imdb": {fn: func(n int, seed int64, _ float64) *datasets.Pair {
+		return datasets.AllmovieImdb(n, seed)
+	}},
+	"flickr-myspace": {fn: func(n int, seed int64, _ float64) *datasets.Pair {
+		return datasets.FlickrMyspace(n, seed)
+	}},
+	"econ": {usesRemove: true, fn: func(n int, seed int64, remove float64) *datasets.Pair {
+		return pairFromGraph("econ", datasets.Econ(n, seed), remove, seed)
+	}},
+	"bn": {usesRemove: true, fn: func(n int, seed int64, remove float64) *datasets.Pair {
+		return pairFromGraph("bn", datasets.BN(n, seed), remove, seed)
+	}},
+	"ppi": {usesRemove: true, fn: func(n int, seed int64, remove float64) *datasets.Pair {
+		return pairFromGraph("ppi", datasets.PPI(n, seed), remove, seed)
+	}},
+	// synthetic is a small attribute-free Erdős–Rényi pair meant for
+	// smoke tests and demos: fast to generate, fast to align.
+	"synthetic": {usesRemove: true, fn: func(n int, seed int64, remove float64) *datasets.Pair {
+		if n <= 0 {
+			n = 200
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := 8 / float64(n-1) // average degree ≈ 8
+		g := graph.ErdosRenyi(n, p, rng)
+		return pairFromGraph("synthetic", g, remove, seed)
+	}},
+}
+
+// Datasets lists the built-in dataset names, sorted.
+func Datasets() []string {
+	names := make([]string, 0, len(builtinDatasets))
+	for name := range builtinDatasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupDataset(name string) (builtin, error) {
+	b, ok := builtinDatasets[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return builtin{}, fmt.Errorf("unknown dataset %q (built-ins: %s)", name, strings.Join(Datasets(), ", "))
+	}
+	return b, nil
+}
+
+// canonicalRemove returns the remove ratio that actually drives the run:
+// the resolver default for single-network datasets, zero for datasets
+// (and inline pairs) that ignore it — so requests differing only in an
+// ignored field share a cache key.
+func canonicalRemove(req *AlignRequest) float64 {
+	if req.Dataset == "" {
+		return 0
+	}
+	b, err := lookupDataset(req.Dataset)
+	if err != nil || !b.usesRemove {
+		return 0
+	}
+	if req.Remove == 0 {
+		return 0.1
+	}
+	return req.Remove
+}
+
+// resolvePair materialises the graph pair of a validated request: either
+// the named built-in dataset or the inline specs.
+func resolvePair(req *AlignRequest, maxNodes int) (*datasets.Pair, error) {
+	if req.Dataset != "" {
+		b, err := lookupDataset(req.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		remove := req.Remove
+		if remove == 0 {
+			remove = 0.1
+		}
+		return b.fn(req.N, req.DataSeed, remove), nil
+	}
+	gs, gt := req.builtSource, req.builtTarget
+	if gs == nil {
+		var err error
+		if gs, err = req.Source.Build(maxNodes); err != nil {
+			return nil, fmt.Errorf("source: %w", err)
+		}
+	}
+	if gt == nil {
+		var err error
+		if gt, err = req.Target.Build(maxNodes); err != nil {
+			return nil, fmt.Errorf("target: %w", err)
+		}
+	}
+	pair := &datasets.Pair{Name: "inline", Source: gs, Target: gt}
+	if len(req.Truth) > 0 {
+		pair.Truth = append(pair.Truth, req.Truth...)
+	}
+	return pair, nil
+}

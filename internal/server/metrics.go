@@ -1,0 +1,46 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics holds the service counters, exposed in Prometheus text format
+// by GET /v1/metrics. All fields are manipulated atomically; the zero
+// value is ready to use.
+type Metrics struct {
+	JobsSubmitted atomic.Int64
+	JobsRejected  atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+	JobsRunning   atomic.Int64 // gauge: jobs currently holding a worker
+	CacheHits     atomic.Int64
+	CacheMisses   atomic.Int64
+}
+
+// writePrometheus renders the counters in Prometheus exposition format.
+// extras lets the caller append gauges it owns (queue depth, uptime).
+func (m *Metrics) writePrometheus(w io.Writer, extras map[string]float64) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("htc_jobs_submitted_total", "Alignment jobs accepted into the queue.", m.JobsSubmitted.Load())
+	counter("htc_jobs_rejected_total", "Submissions rejected because the queue was full.", m.JobsRejected.Load())
+	counter("htc_jobs_completed_total", "Jobs that finished successfully.", m.JobsCompleted.Load())
+	counter("htc_jobs_failed_total", "Jobs that finished with an error.", m.JobsFailed.Load())
+	counter("htc_jobs_cancelled_total", "Jobs cancelled before completion.", m.JobsCancelled.Load())
+	counter("htc_cache_hits_total", "Submissions served from the result cache.", m.CacheHits.Load())
+	counter("htc_cache_misses_total", "Submissions that required a pipeline run.", m.CacheMisses.Load())
+	fmt.Fprintf(w, "# HELP htc_jobs_running Jobs currently holding a worker.\n# TYPE htc_jobs_running gauge\nhtc_jobs_running %d\n", m.JobsRunning.Load())
+	names := make([]string, 0, len(extras))
+	for name := range extras {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, extras[name])
+	}
+}

@@ -1,0 +1,317 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobStatus is the lifecycle state of a queued alignment.
+type JobStatus string
+
+// The job lifecycle: queued → running → done | failed | cancelled.
+// Cancellation can also strike while still queued.
+const (
+	StatusQueued    JobStatus = "queued"
+	StatusRunning   JobStatus = "running"
+	StatusDone      JobStatus = "done"
+	StatusFailed    JobStatus = "failed"
+	StatusCancelled JobStatus = "cancelled"
+)
+
+// ErrQueueFull reports that the submission backlog is at capacity; the
+// HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("server: job queue is full")
+
+// ErrQueueClosed reports a submission after shutdown began.
+var ErrQueueClosed = errors.New("server: job queue is closed")
+
+// Job is one alignment submission moving through the queue. All mutable
+// state is guarded by mu; Info snapshots it for serialisation.
+type Job struct {
+	ID string
+	// Req is the validated request; CacheKey its content hash.
+	Req      *AlignRequest
+	CacheKey string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	status    JobStatus
+	err       error
+	result    *AlignResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Cancel requests cooperative cancellation. A queued job is marked
+// cancelled immediately (the worker that later pops it skips it); a
+// running job's context is cancelled and the pipeline aborts at its next
+// check. Finished jobs are unaffected.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// Info snapshots the job for the API.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{ID: j.ID, Status: j.status, SubmittedAt: j.submitted}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.FinishedAt = &t
+	}
+	if j.status == StatusDone {
+		info.Result = j.result
+	}
+	return info
+}
+
+// Runner executes one job's alignment; the queue retains the returned
+// result on success. A Runner must honour ctx promptly — that is what
+// frees the worker when a client abandons its job.
+type Runner func(ctx context.Context, job *Job) (*AlignResult, error)
+
+// Queue is a bounded in-process job queue drained by a fixed worker
+// pool. Finished job records are retained (capped) so clients can poll
+// results after completion.
+type Queue struct {
+	runner  Runner
+	metrics *Metrics
+	ch      chan *Job
+	workers int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	seq atomic.Uint64
+
+	mu         sync.Mutex
+	closed     bool
+	jobs       map[string]*Job
+	finished   []string // finish order, for record eviction
+	maxRecords int
+}
+
+// NewQueue starts a queue with the given worker count and backlog depth.
+// runner executes each job; metrics may be nil.
+func NewQueue(workers, depth int, runner Runner, metrics *Metrics) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 2 * workers
+	}
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		runner:  runner,
+		metrics: metrics,
+		ch:      make(chan *Job, depth),
+		workers: workers,
+		baseCtx: ctx, baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		maxRecords: 1024,
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.work()
+	}
+	return q
+}
+
+// Workers returns the size of the worker pool.
+func (q *Queue) Workers() int { return q.workers }
+
+// Depth returns (queued-but-unclaimed jobs, backlog capacity).
+func (q *Queue) Depth() (int, int) { return len(q.ch), cap(q.ch) }
+
+func (q *Queue) newID() string {
+	var buf [4]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// Fall back to the sequence alone; IDs stay unique in-process.
+		return fmt.Sprintf("job-%06d", q.seq.Add(1))
+	}
+	return fmt.Sprintf("job-%06d-%s", q.seq.Add(1), hex.EncodeToString(buf[:]))
+}
+
+// Submit enqueues a validated request. It never blocks: when the backlog
+// is full it fails with ErrQueueFull.
+func (q *Queue) Submit(req *AlignRequest, cacheKey string) (*Job, error) {
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	job := &Job{
+		ID: q.newID(), Req: req, CacheKey: cacheKey,
+		ctx: ctx, cancel: cancel,
+		status: StatusQueued, submitted: time.Now(),
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		cancel()
+		return nil, ErrQueueClosed
+	}
+	q.jobs[job.ID] = job
+	q.mu.Unlock()
+
+	select {
+	case q.ch <- job:
+		q.metrics.JobsSubmitted.Add(1)
+		return job, nil
+	default:
+		q.mu.Lock()
+		delete(q.jobs, job.ID)
+		q.mu.Unlock()
+		cancel()
+		q.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Record registers an already-finished job — the cache-hit path, so that
+// polling works uniformly for cached submissions.
+func (q *Queue) Record(req *AlignRequest, cacheKey string, res *AlignResult) *Job {
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	cancel()
+	now := time.Now()
+	job := &Job{
+		ID: q.newID(), Req: req, CacheKey: cacheKey,
+		ctx: ctx, cancel: func() {},
+		status: StatusDone, result: res,
+		submitted: now, started: now, finished: now,
+	}
+	q.mu.Lock()
+	if !q.closed {
+		q.jobs[job.ID] = job
+		q.finished = append(q.finished, job.ID)
+		q.evictLocked()
+	}
+	q.mu.Unlock()
+	return job
+}
+
+// Get returns the job with the given id.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	return job, ok
+}
+
+// Len returns the number of retained job records.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// Close stops accepting submissions, cancels every outstanding job and
+// waits for the workers to drain.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.baseCancel()
+	q.wg.Wait()
+}
+
+func (q *Queue) work() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.baseCtx.Done():
+			return
+		case job := <-q.ch:
+			q.run(job)
+		}
+	}
+}
+
+func (q *Queue) run(job *Job) {
+	job.mu.Lock()
+	if job.status != StatusQueued { // cancelled while waiting
+		job.mu.Unlock()
+		q.metrics.JobsCancelled.Add(1)
+		q.recordFinished(job)
+		return
+	}
+	job.status = StatusRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	q.metrics.JobsRunning.Add(1)
+	res, err := q.runner(job.ctx, job)
+	q.metrics.JobsRunning.Add(-1)
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || job.ctx.Err() != nil):
+		job.status = StatusCancelled
+		job.err = context.Canceled
+		q.metrics.JobsCancelled.Add(1)
+	case err != nil:
+		job.status = StatusFailed
+		job.err = err
+		q.metrics.JobsFailed.Add(1)
+	default:
+		job.status = StatusDone
+		job.result = res
+		q.metrics.JobsCompleted.Add(1)
+	}
+	job.mu.Unlock()
+	job.cancel() // release the context's resources
+	q.recordFinished(job)
+}
+
+// recordFinished appends the job to the finish log and evicts the oldest
+// finished records beyond the retention cap.
+func (q *Queue) recordFinished(job *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, tracked := q.jobs[job.ID]; tracked {
+		q.finished = append(q.finished, job.ID)
+		q.evictLocked()
+	}
+}
+
+func (q *Queue) evictLocked() {
+	for len(q.finished) > q.maxRecords {
+		delete(q.jobs, q.finished[0])
+		q.finished = q.finished[1:]
+	}
+}

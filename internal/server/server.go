@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/htc-align/htc/internal/core"
+	"github.com/htc-align/htc/internal/metrics"
+)
+
+// Options configures a Server. The zero value selects sane defaults.
+type Options struct {
+	// Workers is the alignment worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the submission backlog (default 2×Workers).
+	QueueDepth int
+	// CacheSize bounds the result cache in entries (default 128).
+	CacheSize int
+	// MaxNodes bounds per-graph size at admission (default 20000,
+	// negative = unlimited).
+	MaxNodes int
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// Log receives request/job lines; nil disables logging.
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 2
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 2 * o.Workers
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 128
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 20000
+	}
+	if o.MaxNodes < 0 {
+		o.MaxNodes = 0 // unlimited
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	return o
+}
+
+// Server is the alignment service: an http.Handler wiring the job queue,
+// the result cache and the metrics together.
+type Server struct {
+	opts    Options
+	queue   *Queue
+	cache   *resultCache
+	metrics *Metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New assembles a Server and starts its worker pool. Callers must Close
+// it to stop the workers.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   newResultCache(opts.CacheSize),
+		metrics: &Metrics{},
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.queue = NewQueue(opts.Workers, opts.QueueDepth, s.runJob, s.metrics)
+	s.mux.HandleFunc("POST /v1/align", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels outstanding jobs and stops the worker pool.
+func (s *Server) Close() { s.queue.Close() }
+
+// Metrics exposes the counters (used by tests and the binary's shutdown
+// summary).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// runJob is the queue's Runner: materialise the pair, run the pipeline
+// under the job's context, extract the matching, evaluate, cache.
+func (s *Server) runJob(ctx context.Context, job *Job) (*AlignResult, error) {
+	pair, err := resolvePair(job.Req, s.opts.MaxNodes)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.MaxNodes > 0 && (pair.Source.N() > s.opts.MaxNodes || pair.Target.N() > s.opts.MaxNodes) {
+		return nil, fmt.Errorf("dataset exceeds server limit of %d nodes", s.opts.MaxNodes)
+	}
+	res, err := core.AlignContext(ctx, pair.Source, pair.Target, job.Req.Config)
+	if err != nil {
+		return nil, err
+	}
+
+	match := res.MatchOneToOne()
+	out := &AlignResult{
+		Pairs:         make([][2]int, 0, len(match)),
+		PerOrbit:      make([]OrbitReport, len(res.PerOrbit)),
+		TimingsMS:     stageMS(res.Timings),
+		EpochsTrained: len(res.LossHistory),
+	}
+	for src, tgt := range match {
+		if tgt >= 0 {
+			out.Pairs = append(out.Pairs, [2]int{src, tgt})
+		}
+	}
+	for i, o := range res.PerOrbit {
+		out.PerOrbit[i] = OrbitReport{Orbit: o.Orbit, Trusted: o.Trusted, Gamma: o.Gamma, Iters: o.Iters}
+	}
+	if truth := pair.Truth; truth.NumAnchors() > 0 {
+		qs := job.Req.cutoffs()
+		rep := metrics.Evaluate(res.M, truth, qs...)
+		out.Eval = &EvalReport{PrecisionAt: rep.PrecisionAt, MRR: rep.MRR, Anchors: rep.Anchors}
+	}
+	s.cache.put(job.CacheKey, out)
+	if s.opts.Log != nil {
+		s.opts.Log.Printf("job %s done in %.0fms (%d pairs)", job.ID, out.TimingsMS.Total, len(out.Pairs))
+	}
+	return out, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req AlignRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after request body")
+		return
+	}
+	if err := req.validate(s.opts.MaxNodes); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := cacheKey(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if cached := s.cache.get(key); cached != nil {
+		s.metrics.CacheHits.Add(1)
+		job := s.queue.Record(&req, key, cached)
+		writeJSON(w, http.StatusOK, job.Info())
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	job, err := s.queue.Submit(&req, key)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue is full, retry later")
+		return
+	case errors.Is(err, ErrQueueClosed):
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if s.opts.Log != nil {
+		s.opts.Log.Printf("job %s queued (dataset=%q inline=%v)", job.ID, req.Dataset, req.Source != nil)
+	}
+	writeJSON(w, http.StatusAccepted, job.Info())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.Info())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.queue.Depth()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"workers":        s.queue.Workers(),
+		"queue_depth":    depth,
+		"queue_capacity": capacity,
+		"jobs_tracked":   s.queue.Len(),
+		"cache_entries":  s.cache.len(),
+		"datasets":       Datasets(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.queue.Depth()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, map[string]float64{
+		"htc_queue_depth":    float64(depth),
+		"htc_queue_capacity": float64(capacity),
+		"htc_workers":        float64(s.queue.Workers()),
+		"htc_cache_entries":  float64(s.cache.len()),
+		"htc_uptime_seconds": time.Since(s.started).Seconds(),
+		"htc_jobs_tracked":   float64(s.queue.Len()),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing more to do than drop the conn.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Refresh the serving-layer perf baseline: run the internal/server
+# benchmarks once each and record them as JSON so future PRs have a
+# trajectory to compare against. Usage: scripts/bench_snapshot.sh [out.json]
+set -eu
+
+out=${1:-BENCH_server.json}
+
+go test -bench=. -benchtime=1x -run='^$' ./internal/server/ | awk \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v goversion="$(go env GOVERSION)" \
+	-v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+BEGIN {
+	print "{"
+	printf "  \"generated_at\": \"%s\",\n", date
+	printf "  \"go\": \"%s\", \"goos\": \"%s\", \"goarch\": \"%s\",\n", goversion, goos, goarch
+	print  "  \"package\": \"internal/server\","
+	print  "  \"benchtime\": \"1x\","
+	print  "  \"benchmarks\": ["
+	n = 0
+}
+/^Benchmark/ {
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
+}
+END {
+	print "\n  ]"
+	print "}"
+}' > "$out"
+
+cat "$out"
