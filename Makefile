@@ -25,4 +25,15 @@ bench:
 bench-snapshot:
 	./scripts/bench_snapshot.sh BENCH_server.json
 
-ci: lint build test bench
+# Refresh the end-to-end pipeline baseline (BenchmarkAlign per variant,
+# workers=1 vs workers=max).
+bench-pipeline:
+	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$'
+
+# The CI regression gate: re-measure and compare against the checked-in
+# pipeline baseline, failing on a >2x regression.
+bench-gate:
+	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$'
+	./scripts/bench_check.sh BENCH_pipeline.json BENCH_pipeline.ci.json 2.0
+
+ci: lint build test bench bench-gate

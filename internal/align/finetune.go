@@ -24,6 +24,15 @@ type FineTuneConfig struct {
 	// reinforced before the first iteration, seeding the discovery of
 	// potential anchors around them (the semi-supervised HTC-S mode).
 	KnownPairs [][2]int
+	// Workers bounds the goroutine fan-out of the embedding and
+	// similarity kernels inside this orbit's loop (≤ 0 = GOMAXPROCS).
+	// When the pipeline fine-tunes many orbits concurrently it hands each
+	// orbit a slice of the budget; results are identical for every count.
+	Workers int
+	// KeepEmbeddings snapshots the best iteration's Hs/Ht into the
+	// result. Off by default: the copies are two n×d matrices per
+	// improving iteration, and most callers only want M.
+	KeepEmbeddings bool
 	// Ctx, when non-nil, is checked before each refinement iteration;
 	// once cancelled the loop stops early and returns the best result
 	// found so far (possibly with a nil M when cancelled immediately).
@@ -54,6 +63,7 @@ type FineTuneResult struct {
 	Iters int
 	// Hs and Ht are the source/target embeddings of the best iteration,
 	// used by downstream analyses (the paper's Fig. 11 visualisation).
+	// They are populated only when FineTuneConfig.KeepEmbeddings is set.
 	Hs, Ht *dense.Matrix
 }
 
@@ -64,6 +74,7 @@ type FineTuneResult struct {
 // only the aggregation coefficients are tuned.
 func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg FineTuneConfig) *FineTuneResult {
 	cfg = cfg.withDefaults()
+	w := cfg.Workers
 	rs := ones(lapS.Rows)
 	rt := ones(lapT.Rows)
 	for _, p := range cfg.KnownPairs {
@@ -73,14 +84,33 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 		}
 	}
 
-	var hs, ht *dense.Matrix
-	if len(cfg.KnownPairs) > 0 {
-		hs = enc.Embed(lapS.DiagScale(rs, rs), xs)
-		ht = enc.Embed(lapT.DiagScale(rt, rt), xt)
-	} else {
-		hs = enc.Embed(lapS, xs)
-		ht = enc.Embed(lapT, xt)
+	// The loop's whole working set is allocated once and reused across
+	// iterations: the reinforced Laplacians share the original sparsity
+	// pattern (DiagScaleInto rescales values in place, and the clones are
+	// only made once reinforcement actually changes rs/rt — single-pass
+	// callers embed straight through the originals), the embeddings live
+	// in two forward caches, and the ns×nt similarity matrices sit in the
+	// simScratch.
+	var scaledS, scaledT *sparse.CSR
+	var cacheS, cacheT nn.Cache
+	sim := &simScratch{}
+	reinforced := len(cfg.KnownPairs) > 0
+	embed := func() (hs, ht *dense.Matrix) {
+		if reinforced {
+			if scaledS == nil {
+				scaledS, scaledT = lapS.Clone(), lapT.Clone()
+			}
+			lapS.DiagScaleInto(scaledS, rs, rs)
+			lapT.DiagScaleInto(scaledT, rt, rt)
+			enc.ForwardReuse(&cacheS, scaledS, xs, w)
+			enc.ForwardReuse(&cacheT, scaledT, xt, w)
+		} else {
+			enc.ForwardReuse(&cacheS, lapS, xs, w)
+			enc.ForwardReuse(&cacheT, lapT, xt, w)
+		}
+		return cacheS.Output(), cacheT.Output()
 	}
+	hs, ht := embed()
 
 	res := &FineTuneResult{Trusted: -1}
 	for iter := 0; iter < cfg.MaxIters; iter++ {
@@ -88,19 +118,30 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 			break
 		}
 		res.Iters = iter + 1
-		m := LISI(Corr(hs, ht), cfg.M)
+		m := sim.lisiInto(sim.corrInto(hs, ht, w), cfg.M, w)
 		pairs := TrustedPairs(m)
 		if len(pairs) <= res.Trusted {
 			break
 		}
-		res.M, res.Trusted = m, len(pairs)
-		res.Hs, res.Ht = hs, ht
+		// Snapshot the new best iteration: the loop keeps overwriting its
+		// buffers, so the result owns copies.
+		res.M = dense.Ensure(res.M, m.Rows, m.Cols)
+		res.M.CopyFrom(m)
+		res.Trusted = len(pairs)
+		if cfg.KeepEmbeddings {
+			res.Hs = dense.Ensure(res.Hs, hs.Rows, hs.Cols)
+			res.Hs.CopyFrom(hs)
+			res.Ht = dense.Ensure(res.Ht, ht.Rows, ht.Cols)
+			res.Ht.CopyFrom(ht)
+		}
 		for _, p := range pairs {
 			rs[p[0]] *= cfg.Beta
 			rt[p[1]] *= cfg.Beta
 		}
-		hs = enc.Embed(lapS.DiagScale(rs, rs), xs)
-		ht = enc.Embed(lapT.DiagScale(rt, rt), xt)
+		if len(pairs) > 0 {
+			reinforced = true
+		}
+		hs, ht = embed()
 	}
 	return res
 }

@@ -9,21 +9,54 @@ import (
 	"fmt"
 
 	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/par"
 )
+
+// simScratch holds the similarity working set of one fine-tuning loop: the
+// centered embedding copies, the ns×nt correlation and LISI matrices and
+// the nt×ns transposed view. Algorithm 2 recomputes all of them every
+// iteration; keeping them in one reusable bundle turns ~6 large
+// allocations per iteration into zero after the first.
+type simScratch struct {
+	a, b   *dense.Matrix // centered + row-normalised embedding copies
+	corr   *dense.Matrix // ns×nt Pearson similarity
+	corrT  *dense.Matrix // nt×ns transposed similarity (column-scan buffer)
+	lisi   *dense.Matrix // ns×nt LISI
+	dt, ds []float64     // hubness degrees
+}
+
+func ensureVec(v []float64, n int) []float64 {
+	if len(v) == n {
+		return v
+	}
+	return make([]float64, n)
+}
 
 // Corr returns the Pearson correlation matrix between the rows of hs
 // (ns×d) and ht (nt×d): entry (i, j) is corr(hs_i, ht_j) per Eq. 9.
 // Constant (zero-variance) embeddings correlate 0 with everything.
 func Corr(hs, ht *dense.Matrix) *dense.Matrix {
+	s := &simScratch{}
+	return s.corrInto(hs, ht, 0)
+}
+
+// corrInto computes the Pearson similarity into the scratch's corr buffer.
+// workers bounds the kernel fan-out (≤ 0 = GOMAXPROCS).
+func (s *simScratch) corrInto(hs, ht *dense.Matrix, workers int) *dense.Matrix {
 	if hs.Cols != ht.Cols {
 		panic(fmt.Sprintf("align: embedding dims differ: %d vs %d", hs.Cols, ht.Cols))
 	}
-	a, b := hs.Clone(), ht.Clone()
-	a.CenterRows()
-	a.NormalizeRows()
-	b.CenterRows()
-	b.NormalizeRows()
-	return dense.MulBT(a, b)
+	s.a = dense.Ensure(s.a, hs.Rows, hs.Cols)
+	s.a.CopyFrom(hs)
+	s.b = dense.Ensure(s.b, ht.Rows, ht.Cols)
+	s.b.CopyFrom(ht)
+	s.a.CenterRows()
+	s.a.NormalizeRows()
+	s.b.CenterRows()
+	s.b.NormalizeRows()
+	s.corr = dense.Ensure(s.corr, hs.Rows, ht.Rows)
+	dense.MulBTInto(s.corr, s.a, s.b, workers)
+	return s.corr
 }
 
 // topMean returns the mean of the m largest values in xs. When xs has
@@ -95,22 +128,34 @@ func partitionDesc(xs []float64, lo, hi int) int {
 // nearest target neighbours) and Ds (per target node, symmetric) from a
 // similarity matrix, per Eq. 10.
 func HubnessDegrees(corr *dense.Matrix, m int) (dt, ds []float64) {
-	dt = make([]float64, corr.Rows)
-	ds = make([]float64, corr.Cols)
-	buf := make([]float64, corr.Cols)
-	for i := 0; i < corr.Rows; i++ {
-		dt[i] = topMean(corr.Row(i), m, buf)
-	}
-	col := make([]float64, corr.Rows)
-	if len(col) > len(buf) {
-		buf = make([]float64, len(col))
-	}
-	for j := 0; j < corr.Cols; j++ {
-		for i := 0; i < corr.Rows; i++ {
-			col[i] = corr.At(i, j)
+	s := &simScratch{}
+	return s.hubness(corr, m, 0)
+}
+
+// hubness fills the scratch's dt/ds vectors. The per-target degrees Ds
+// need the columns of corr; instead of the old element-by-element strided
+// gather (one cache line fetched per entry), the matrix is transposed once
+// with the cache-blocked TransposeInto and Ds becomes a sequential row
+// scan like Dt.
+func (s *simScratch) hubness(corr *dense.Matrix, m, workers int) (dt, ds []float64) {
+	s.dt = ensureVec(s.dt, corr.Rows)
+	s.ds = ensureVec(s.ds, corr.Cols)
+	s.corrT = dense.Ensure(s.corrT, corr.Cols, corr.Rows)
+	dense.TransposeInto(s.corrT, corr)
+	dt, ds = s.dt, s.ds
+	par.For(workers, corr.Rows, corr.Cols, func(start, end int) {
+		buf := make([]float64, corr.Cols)
+		for i := start; i < end; i++ {
+			dt[i] = topMean(corr.Row(i), m, buf)
 		}
-		ds[j] = topMean(col, m, buf)
-	}
+	})
+	corrT := s.corrT
+	par.For(workers, corrT.Rows, corrT.Cols, func(start, end int) {
+		buf := make([]float64, corrT.Cols)
+		for j := start; j < end; j++ {
+			ds[j] = topMean(corrT.Row(j), m, buf)
+		}
+	})
 	return dt, ds
 }
 
@@ -119,16 +164,26 @@ func HubnessDegrees(corr *dense.Matrix, m int) (dt, ds []float64) {
 // mark pairs that are mutually similar yet locally isolated, which
 // suppresses hub nodes.
 func LISI(corr *dense.Matrix, m int) *dense.Matrix {
-	dt, ds := HubnessDegrees(corr, m)
-	out := dense.New(corr.Rows, corr.Cols)
-	for i := 0; i < corr.Rows; i++ {
-		src := corr.Row(i)
-		dst := out.Row(i)
-		di := dt[i]
-		for j, v := range src {
-			dst[j] = 2*v - di - ds[j]
+	s := &simScratch{}
+	return s.lisiInto(corr, m, 0)
+}
+
+// lisiInto computes LISI into the scratch's lisi buffer, reusing the
+// hubness vectors and the transposed similarity.
+func (s *simScratch) lisiInto(corr *dense.Matrix, m, workers int) *dense.Matrix {
+	dt, ds := s.hubness(corr, m, workers)
+	s.lisi = dense.Ensure(s.lisi, corr.Rows, corr.Cols)
+	out := s.lisi
+	par.For(workers, corr.Rows, corr.Cols, func(start, end int) {
+		for i := start; i < end; i++ {
+			src := corr.Row(i)
+			dst := out.Row(i)
+			di := dt[i]
+			for j, v := range src {
+				dst[j] = 2*v - di - ds[j]
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchConfig is the end-to-end benchmark workload: large enough that
+// every stage (orbit counting, training, fine-tuning, integration) shows
+// up, small enough that -benchtime=1x stays CI-sized.
+func benchConfig(v Variant, workers int) Config {
+	return Config{
+		Variant: v, K: 8, Hidden: 32, Embed: 16,
+		Epochs: 15, M: 10, Seed: 1, Workers: workers,
+	}
+}
+
+// BenchmarkAlign measures the whole pipeline per variant, once with a
+// single worker (the serial baseline) and once with the full machine
+// (workers=max, i.e. Config.Workers = 0). The workers=1 / workers=max
+// ratio is the headline speedup of the parallel execution engine;
+// scripts/bench_snapshot.sh records both series in BENCH_pipeline.json.
+func BenchmarkAlign(b *testing.B) {
+	gs, gt, _ := noisyPair(130, 0.1, 7)
+	for _, v := range Variants() {
+		for _, w := range []struct {
+			label   string
+			workers int
+		}{{"1", 1}, {"max", 0}} {
+			b.Run(fmt.Sprintf("%s/workers=%s", v, w.label), func(b *testing.B) {
+				cfg := benchConfig(v, w.workers)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Align(gs, gt, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAlignLarge is the scaling probe: one heavier orbit-variant run
+// per worker setting, for eyeballing how the fan-out behaves beyond toy
+// sizes. Excluded from the snapshot's regression gate (it is noisier).
+func BenchmarkAlignLarge(b *testing.B) {
+	gs, gt, _ := noisyPair(300, 0.1, 8)
+	for _, w := range []struct {
+		label   string
+		workers int
+	}{{"1", 1}, {"max", 0}} {
+		b.Run("HTC/workers="+w.label, func(b *testing.B) {
+			cfg := benchConfig(Full, w.workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Align(gs, gt, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

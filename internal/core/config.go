@@ -137,6 +137,14 @@ type Config struct {
 	// Seed drives every random choice (weight init); equal seeds give
 	// bit-identical runs.
 	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds the CPU fan-out of the whole pipeline: orbit
+	// counting, the per-epoch training passes, the per-orbit fine-tuning
+	// loops and the dense kernels underneath all share this one budget.
+	// 0 (the default) means GOMAXPROCS; the server lowers it per job so
+	// concurrent alignments don't oversubscribe the machine. Workers is a
+	// pure performance knob — results are bit-identical for every value —
+	// so it does not participate in result caching.
+	Workers int `json:"workers,omitempty"`
 	// KeepEmbeddings retains the per-orbit embeddings of each orbit's
 	// best fine-tuning iteration in the Result (memory-heavy; used by
 	// the Fig. 11 visualisation).
@@ -185,6 +193,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DiffusionAlpha <= 0 || c.DiffusionAlpha >= 1 {
 		c.DiffusionAlpha = 0.15
+	}
+	if c.Workers < 0 {
+		c.Workers = 0
 	}
 	return c
 }

@@ -52,7 +52,7 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	cfg := Config{
 		Variant: DiffusionFT, K: 5, Hidden: 32, Embed: 16, Layers: 3,
 		Epochs: 10, Patience: 3, LR: 0.02, M: 7, Beta: 1.2, Binary: true,
-		MaxFineTuneIters: 9, DiffusionAlpha: 0.3, Seed: 42,
+		MaxFineTuneIters: 9, DiffusionAlpha: 0.3, Seed: 42, Workers: 4,
 		Seeds: [][2]int{{0, 1}, {2, 3}},
 	}
 	blob, err := json.Marshal(cfg)

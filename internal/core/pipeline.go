@@ -15,6 +15,7 @@ import (
 	"github.com/htc-align/htc/internal/graph"
 	"github.com/htc-align/htc/internal/nn"
 	"github.com/htc-align/htc/internal/orbit"
+	"github.com/htc-align/htc/internal/par"
 )
 
 // ErrAttrMismatch reports incompatible attribute spaces between the two
@@ -50,6 +51,10 @@ type Result struct {
 	Timings StageTimings
 	// LossHistory is the training loss Γ per epoch.
 	LossHistory []float64
+	// Workers is the CPU budget the run actually used (Config.Workers
+	// resolved against GOMAXPROCS). It never affects the numbers above —
+	// parallelism is a pure performance knob.
+	Workers int
 	// SourceEmbeddings and TargetEmbeddings hold the per-orbit node
 	// embeddings of each orbit's best fine-tuning iteration. They are
 	// populated only when Config.KeepEmbeddings is set (the Fig. 11
@@ -98,63 +103,108 @@ func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result
 		return nil, err
 	}
 
-	res := &Result{}
+	// One worker budget governs every stage: the fan-outs below divide it
+	// so that concurrent subtasks never oversubscribe the cores the caller
+	// granted (the server hands each job a slice of the machine).
+	workers := par.Resolve(cfg.Workers)
+	res := &Result{Workers: workers}
 
 	// Stage 1: edge-orbit counting (only the orbit-based variants pay
-	// for it).
+	// for it). The two graphs are independent, so they count
+	// concurrently, each with a share of the budget proportional to its
+	// edge count; orbit.CountN additionally shards its share across
+	// edges.
 	var countsS, countsT *orbit.Counts
 	if cfg.Variant.usesOrbits() {
 		t0 := time.Now()
-		countsS = orbit.Count(gs)
-		countsT = orbit.Count(gt)
+		if workers >= 2 {
+			ws, wt := par.Split2(workers, len(gs.Edges()), len(gt.Edges()))
+			par.Do(2,
+				func() { countsS = orbit.CountN(gs, ws) },
+				func() { countsT = orbit.CountN(gt, wt) })
+		} else {
+			countsS = orbit.CountN(gs, 1)
+			countsT = orbit.CountN(gt, 1)
+		}
 		res.Timings.OrbitCounting = time.Since(t0)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// Stage 2: aggregation matrices (GOM Laplacians or alternatives).
+	// Stage 2: aggregation matrices (GOM Laplacians or alternatives),
+	// again one independent build per graph.
 	t0 := time.Now()
 	var setS, setT *gom.Set
+	buildPair := func(buildS, buildT func() *gom.Set) {
+		if workers >= 2 {
+			par.Do(2,
+				func() { setS = buildS() },
+				func() { setT = buildT() })
+		} else {
+			setS, setT = buildS(), buildT()
+		}
+	}
 	switch {
 	case cfg.Variant.usesOrbits():
-		setS = gom.Build(gs, countsS, cfg.K, cfg.Binary)
-		setT = gom.Build(gt, countsT, cfg.K, cfg.Binary)
+		buildPair(
+			func() *gom.Set { return gom.Build(gs, countsS, cfg.K, cfg.Binary) },
+			func() *gom.Set { return gom.Build(gt, countsT, cfg.K, cfg.Binary) })
 	case cfg.Variant == DiffusionFT:
 		order := cfg.K
 		if order > 5 {
 			order = 5 // the paper's best HTC-DT uses k = 5
 		}
-		setS = gom.FromMatrices(diffusion.Matrices(gs, order, cfg.DiffusionAlpha, 1e-4))
-		setT = gom.FromMatrices(diffusion.Matrices(gt, order, cfg.DiffusionAlpha, 1e-4))
+		diffuse := func(g *graph.Graph) *gom.Set {
+			return gom.FromMatrices(diffusion.Matrices(g, order, cfg.DiffusionAlpha, 1e-4))
+		}
+		buildPair(
+			func() *gom.Set { return diffuse(gs) },
+			func() *gom.Set { return diffuse(gt) })
 	default: // LowOrder, LowOrderFT
-		setS = gom.LowOrder(gs)
-		setT = gom.LowOrder(gt)
+		buildPair(
+			func() *gom.Set { return gom.LowOrder(gs) },
+			func() *gom.Set { return gom.LowOrder(gt) })
 	}
 	res.Timings.Laplacians = time.Since(t0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// Stage 3: multi-orbit-aware training (Algorithm 1).
+	// Stage 3: multi-orbit-aware training (Algorithm 1). Train fans the
+	// per-orbit forward/backward passes of each epoch across the budget.
 	t0 = time.Now()
 	src := &nn.GraphData{Laps: setS.Laplacians, X: xs}
 	tgt := &nn.GraphData{Laps: setT.Laplacians, X: xt}
 	enc := newEncoder(cfg, xs.Cols)
-	res.LossHistory = nn.Train(enc, src, tgt, nn.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Patience: cfg.Patience, Ctx: ctx})
+	res.LossHistory = nn.Train(enc, src, tgt, nn.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Patience: cfg.Patience, Workers: workers, Ctx: ctx})
 	res.Timings.Training = time.Since(t0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Stage 4: per-orbit alignment matrices, fine-tuned when the variant
-	// calls for it (Algorithm 2).
+	// calls for it (Algorithm 2). The encoder is read-only here — only
+	// per-orbit aggregation coefficients are tuned — so the orbits are
+	// fully independent and fan out across the budget; any budget left
+	// over (fewer orbits than workers) parallelises each orbit's kernels
+	// instead.
 	t0 = time.Now()
 	k := setS.K()
 	ms := make([]*dense.Matrix, k)
 	trusted := make([]int, k)
 	res.PerOrbit = make([]OrbitOutcome, k)
-	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Ctx: ctx}
+	// Each in-flight fine-tune holds a few ns×nt similarity buffers, so
+	// on huge pairs the fan-out is additionally capped by a scratch-memory
+	// budget — beyond it, concurrency would multiply gigabyte-sized
+	// working sets, not speed; the unused share of the budget flows into
+	// each orbit's kernels instead.
+	slots := fineTuneConcurrencyCap(gs.N(), gt.N())
+	if slots > k {
+		slots = k
+	}
+	outer, inner := par.SplitOuterInner(workers, slots)
+	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Workers: inner, KeepEmbeddings: cfg.KeepEmbeddings, Ctx: ctx}
 	if !cfg.Variant.usesFineTune() {
 		ftCfg.MaxIters = 1 // single pass: score + trusted count, no reinforcement rounds
 		ftCfg.KnownPairs = nil
@@ -163,11 +213,17 @@ func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result
 		res.SourceEmbeddings = make([]*dense.Matrix, k)
 		res.TargetEmbeddings = make([]*dense.Matrix, k)
 	}
-	for i := 0; i < k; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	fts := make([]*align.FineTuneResult, k)
+	par.Tasks(outer, k, func(i int) {
+		if ctx.Err() != nil {
+			return // cancelled: remaining orbits are skipped
 		}
-		ft := align.FineTune(enc, setS.Laplacians[i], setT.Laplacians[i], xs, xt, ftCfg)
+		fts[i] = align.FineTune(enc, setS.Laplacians[i], setT.Laplacians[i], xs, xt, ftCfg)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, ft := range fts {
 		ms[i] = ft.M
 		trusted[i] = ft.Trusted
 		res.PerOrbit[i] = OrbitOutcome{Orbit: i, Trusted: ft.Trusted, Iters: ft.Iters}
@@ -192,6 +248,25 @@ func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result
 
 	res.Timings.Total = time.Since(start)
 	return res, nil
+}
+
+// fineTuneConcurrencyCap bounds how many per-orbit fine-tuning loops may
+// run at once: each holds ~4 ns×nt float64 buffers (similarity, its
+// transpose, LISI, best-M), so the cap keeps their combined scratch under
+// ~2 GiB. Laptop- and benchmark-sized pairs are unaffected; 20k×20k pairs
+// degrade to sequential orbits (each still using the full kernel budget)
+// instead of multiplying gigabyte working sets.
+func fineTuneConcurrencyCap(ns, nt int) int {
+	const budgetBytes = 2 << 30
+	per := 4 * 8 * int64(ns) * int64(nt)
+	if per <= 0 {
+		return 1
+	}
+	cap := int(budgetBytes / per)
+	if cap < 1 {
+		return 1
+	}
+	return cap
 }
 
 func newEncoder(cfg Config, inDim int) *nn.Encoder {

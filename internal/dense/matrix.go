@@ -56,6 +56,18 @@ func Identity(n int) *Matrix {
 	return m
 }
 
+// Ensure returns m when it already has shape r×c, and a fresh zeroed
+// matrix otherwise. It is the building block of scratch-buffer reuse: hot
+// loops call Ensure once per round and allocate only when shapes change.
+// The returned matrix's contents are unspecified (stale on reuse) — use it
+// as the destination of an Into kernel.
+func Ensure(m *Matrix, r, c int) *Matrix {
+	if m != nil && m.Rows == r && m.Cols == c {
+		return m
+	}
+	return New(r, c)
+}
+
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
@@ -141,13 +153,42 @@ func (m *Matrix) Apply(f func(float64) float64) {
 // T returns a transposed copy of m.
 func (m *Matrix) T() *Matrix {
 	t := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			t.Data[j*t.Cols+i] = v
+	TransposeInto(t, m)
+	return t
+}
+
+// transposeTile is the square block edge of the cache-blocked transpose:
+// a 64×64 float64 tile is 32 KiB, so source rows and destination columns
+// of one tile fit in L1 together.
+const transposeTile = 64
+
+// TransposeInto computes dst = srcᵀ, overwriting dst. The copy is
+// cache-blocked: walking both matrices tile by tile keeps the strided
+// destination writes inside one cache-resident block instead of touching
+// dst.Rows distinct cache lines per source row.
+func TransposeInto(dst, src *Matrix) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("dense: TransposeInto shape mismatch dst=%dx%d src=%dx%d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for it := 0; it < src.Rows; it += transposeTile {
+		iEnd := it + transposeTile
+		if iEnd > src.Rows {
+			iEnd = src.Rows
+		}
+		for jt := 0; jt < src.Cols; jt += transposeTile {
+			jEnd := jt + transposeTile
+			if jEnd > src.Cols {
+				jEnd = src.Cols
+			}
+			for i := it; i < iEnd; i++ {
+				row := src.Data[i*src.Cols : i*src.Cols+src.Cols]
+				for j := jt; j < jEnd; j++ {
+					dst.Data[j*dst.Cols+i] = row[j]
+				}
+			}
 		}
 	}
-	return t
 }
 
 // Dot returns the elementwise inner product ⟨m, b⟩ = Σ m(i,j)·b(i,j).

@@ -1,6 +1,10 @@
 package dense
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/htc-align/htc/internal/par"
+)
 
 // Mul returns the matrix product a·b. It panics if the inner dimensions do
 // not match. The computation is parallelised across rows of the result.
@@ -9,19 +13,22 @@ func Mul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("dense: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Rows, b.Cols)
-	MulInto(c, a, b)
+	MulInto(c, a, b, 0)
 	return c
 }
 
-// MulInto computes c = a·b, overwriting c. The shapes must be compatible.
-func MulInto(c, a, b *Matrix) {
+// MulInto computes c = a·b, overwriting c, fanning out across at most
+// `workers` goroutines (≤ 0 = GOMAXPROCS). The shapes must be compatible.
+// Rows of c are written by exactly one goroutine each, so the result is
+// bit-identical for every worker count.
+func MulInto(c, a, b *Matrix, workers int) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: MulInto dimension mismatch c=%dx%d a=%dx%d b=%dx%d",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	k, n := a.Cols, b.Cols
 	c.Zero()
-	parallelRows(a.Rows, k*n, func(start, end int) {
+	par.For(workers, a.Rows, k*n, func(start, end int) {
 		for i := start; i < end; i++ {
 			ci := c.Data[i*n : i*n+n]
 			ai := a.Data[i*k : i*k+k]
@@ -40,15 +47,31 @@ func MulInto(c, a, b *Matrix) {
 
 // MulAT returns aᵀ·b for a (m×k) and b (m×n), producing a k×n matrix.
 func MulAT(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("dense: MulAT dimension mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	c := New(a.Cols, b.Cols)
+	MulATInto(c, a, b, 0)
+	return c
+}
+
+// MulATInto computes c = aᵀ·b, overwriting c.
+func MulATInto(c, a, b *Matrix, workers int) {
+	c.Zero()
+	MulATAccum(c, a, b, workers)
+}
+
+// MulATAccum accumulates c += aᵀ·b for a (m×k) and b (m×n) without any
+// temporary — the gradient kernel of training, where every layer adds its
+// weight gradient into a shared buffer.
+//
+// Parallelisation is over output rows; each output row l gathers the
+// strided column l of a. For the small k used by embedding dimensions this
+// is cache-acceptable and race-free.
+func MulATAccum(c, a, b *Matrix, workers int) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MulATAccum dimension mismatch c=%dx%d a=%dx%d ᵀ· b=%dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	k, n := a.Cols, b.Cols
-	c := New(k, n)
-	// Parallelise over output rows; each output row l gathers the strided
-	// column l of a. For the small k used by embedding dimensions this is
-	// cache-acceptable and race-free.
-	parallelRows(k, a.Rows*n, func(start, end int) {
+	par.For(workers, k, a.Rows*n, func(start, end int) {
 		for l := start; l < end; l++ {
 			cl := c.Data[l*n : l*n+n]
 			for i := 0; i < a.Rows; i++ {
@@ -63,7 +86,6 @@ func MulAT(a, b *Matrix) *Matrix {
 			}
 		}
 	})
-	return c
 }
 
 // MulBT returns a·bᵀ for a (m×k) and b (n×k), producing an m×n matrix.
@@ -74,28 +96,52 @@ func MulBT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("dense: MulBT dimension mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Rows, b.Rows)
-	MulBTInto(c, a, b)
+	MulBTInto(c, a, b, 0)
 	return c
 }
 
-// MulBTInto computes c = a·bᵀ, overwriting c.
-func MulBTInto(c, a, b *Matrix) {
+// mulBTTile bounds the number of b entries (rows × k) held per cache
+// block: 16384 float64s ≈ 128 KiB, sized to sit in L2 while a row of a
+// stays in L1.
+const mulBTTile = 1 << 14
+
+// MulBTInto computes c = a·bᵀ, overwriting c. The kernel is cache-blocked:
+// rows of b are processed in tiles small enough to stay resident in cache
+// while the worker streams its rows of a over them, so b is fetched from
+// memory once per tile instead of once per row of a. Every c entry is one
+// sequential dot product, so results are bit-identical for every worker
+// count and tile size.
+func MulBTInto(c, a, b *Matrix, workers int) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(fmt.Sprintf("dense: MulBTInto dimension mismatch c=%dx%d a=%dx%d b=%dx%d",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	k := a.Cols
-	parallelRows(a.Rows, b.Rows*k, func(start, end int) {
-		for i := start; i < end; i++ {
-			ai := a.Data[i*k : i*k+k]
-			ci := c.Data[i*c.Cols : i*c.Cols+c.Cols]
-			for j := 0; j < b.Rows; j++ {
-				bj := b.Data[j*k : j*k+k]
-				var s float64
-				for l, av := range ai {
-					s += av * bj[l]
+	if k == 0 {
+		c.Zero()
+		return
+	}
+	tile := mulBTTile / k
+	if tile < 8 {
+		tile = 8
+	}
+	par.For(workers, a.Rows, b.Rows*k, func(start, end int) {
+		for jt := 0; jt < b.Rows; jt += tile {
+			jEnd := jt + tile
+			if jEnd > b.Rows {
+				jEnd = b.Rows
+			}
+			for i := start; i < end; i++ {
+				ai := a.Data[i*k : i*k+k]
+				ci := c.Data[i*c.Cols : i*c.Cols+c.Cols]
+				for j := jt; j < jEnd; j++ {
+					bj := b.Data[j*k : j*k+k]
+					var s float64
+					for l, av := range ai {
+						s += av * bj[l]
+					}
+					ci[j] = s
 				}
-				ci[j] = s
 			}
 		}
 	})
@@ -107,7 +153,7 @@ func MulVec(a *Matrix, x []float64) []float64 {
 		panic(fmt.Sprintf("dense: MulVec dimension mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
 	}
 	y := make([]float64, a.Rows)
-	parallelRows(a.Rows, a.Cols, func(start, end int) {
+	par.For(0, a.Rows, a.Cols, func(start, end int) {
 		for i := start; i < end; i++ {
 			row := a.Row(i)
 			var s float64

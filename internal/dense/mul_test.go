@@ -114,9 +114,57 @@ func TestMulIntoReusesBuffer(t *testing.T) {
 	b := FromRows([][]float64{{2, 3}, {4, 5}})
 	c := New(2, 2)
 	c.Fill(99) // stale values must be overwritten
-	MulInto(c, a, b)
+	MulInto(c, a, b, 0)
 	if !c.Equal(b, 1e-12) {
 		t.Fatalf("MulInto = %v, want %v", c, b)
+	}
+}
+
+func TestMulBTIntoWorkerCountsAgree(t *testing.T) {
+	// The cache-blocked kernel must produce bit-identical results for
+	// every worker count — this is what makes Config.Workers a pure
+	// performance knob.
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(333, 48, rng)
+	b := randomMatrix(257, 48, rng)
+	want := New(a.Rows, b.Rows)
+	MulBTInto(want, a, b, 1)
+	for _, w := range []int{2, 3, 8} {
+		got := New(a.Rows, b.Rows)
+		got.Fill(-1)
+		MulBTInto(got, a, b, w)
+		if !got.Equal(want, 0) {
+			t.Fatalf("MulBTInto with %d workers diverged", w)
+		}
+	}
+}
+
+func TestMulATAccum(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomMatrix(40, 7, rng)
+	b := randomMatrix(40, 9, rng)
+	c := randomMatrix(7, 9, rng)
+	want := c.Clone()
+	want.Add(MulAT(a, b))
+	MulATAccum(c, a, b, 0)
+	if !c.Equal(want, 1e-12) {
+		t.Fatal("MulATAccum != c + MulAT(a,b)")
+	}
+}
+
+func TestTransposeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Dimensions straddling the tile size exercise the partial-tile edges.
+	for _, dims := range [][2]int{{3, 5}, {64, 64}, {65, 63}, {1, 200}, {130, 70}} {
+		m := randomMatrix(dims[0], dims[1], rng)
+		tr := m.T()
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				if tr.At(j, i) != m.At(i, j) {
+					t.Fatalf("%dx%d transpose wrong at (%d,%d)", dims[0], dims[1], i, j)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,21 @@
+package diffusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/graph"
+)
+
+// BenchmarkMatrices measures the stage-2 HTC-DT path: sparse power
+// accumulation with per-order eps-pruning. Before the SpGEMM rewrite this
+// workload carried two dense n×n matrices through every order.
+func BenchmarkMatrices(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyi(3000, 0.001, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Matrices(g, 5, 0.15, 1e-4)
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"math"
 
-	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/graph"
 	"github.com/htc-align/htc/internal/sparse"
 )
@@ -20,6 +19,13 @@ import (
 // T = D^(−1/2)·A·D^(−1/2). Entries smaller than eps are dropped so that
 // the matrices stay sparse enough to aggregate with; the diagonal is
 // always kept.
+//
+// The powers are accumulated sparsely: Tʲ is carried as a CSR matrix and
+// advanced with Gustavson SpGEMM, with sub-eps entries pruned after every
+// multiplication. On sparse graphs this keeps the cost proportional to the
+// (pruned) fill of Tʲ instead of the O(n²) memory and O(n³) time the old
+// dense power loop paid regardless of sparsity. With eps = 0 nothing is
+// pruned and the recurrence is exact.
 func Matrices(g *graph.Graph, k int, alpha, eps float64) []*sparse.CSR {
 	if k < 1 {
 		panic(fmt.Sprintf("diffusion: k = %d < 1", k))
@@ -30,17 +36,30 @@ func Matrices(g *graph.Graph, k int, alpha, eps float64) []*sparse.CSR {
 	n := g.N()
 	t := transition(g)
 
-	// Power accumulation: power = Tʲ (dense), acc = Σ_{j≤i} α(1−α)ʲTʲ.
-	power := dense.Identity(n)
-	acc := dense.Identity(n)
-	acc.Scale(alpha)
+	// Power accumulation: power = Tʲ (sparse, eps-pruned),
+	// acc = Σ_{j≤i} α(1−α)ʲTʲ.
+	power := sparse.Identity(n)
+	acc := sparse.Identity(n)
+	for p := range acc.Val {
+		acc.Val[p] = alpha
+	}
 
 	out := make([]*sparse.CSR, 0, k)
 	coeff := alpha
 	for i := 1; i <= k; i++ {
-		power = t.MulDense(power)
+		power = sparse.Mul(t, power)
+		if eps > 0 {
+			// Bound the fill of the carried power without visibly moving
+			// the emitted matrices: pruning is an approximation whose
+			// per-entry error compounds across the remaining orders
+			// (every dropped entry is missing from all later products),
+			// so the working threshold sits well below the emission eps.
+			// TestMatricesPruneDriftBounded pins the resulting deviation
+			// from the exact recurrence to a fraction of eps.
+			power = power.Prune(eps/16, false)
+		}
 		coeff *= 1 - alpha
-		acc.AddScaled(power, coeff)
+		acc = sparse.Add(acc, power, 1, coeff)
 		out = append(out, sparsify(acc, eps))
 	}
 	return out
@@ -59,18 +78,11 @@ func transition(g *graph.Graph) *sparse.CSR {
 }
 
 // sparsify drops entries below eps, always keeping the diagonal so every
-// node stays self-connected.
-func sparsify(m *dense.Matrix, eps float64) *sparse.CSR {
-	var entries []sparse.Entry
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			if i == j || math.Abs(v) >= eps {
-				if v != 0 {
-					entries = append(entries, sparse.Entry{Row: int32(i), Col: int32(j), Val: v})
-				}
-			}
-		}
+// node stays self-connected. The result is exactly sized (survivors are
+// counted before copying), so no append-doubling garbage is produced.
+func sparsify(m *sparse.CSR, eps float64) *sparse.CSR {
+	if eps <= 0 {
+		return m.Clone()
 	}
-	return sparse.FromEntries(m.Rows, m.Cols, entries)
+	return m.Prune(eps, true)
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/graph"
 )
 
@@ -111,6 +112,65 @@ func TestMatricesValidation(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestMatricesMatchDenseReference checks the sparse power recurrence
+// against a naive dense computation of Σ α(1−α)ʲ·Tʲ. With eps = 0 the two
+// must agree to arithmetic round-off.
+func TestMatricesMatchDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ErdosRenyi(18, 0.3, rng)
+	alpha := 0.15
+	ms := Matrices(g, 4, alpha, 0)
+
+	tr := transition(g).ToDense()
+	power := dense.Identity(g.N())
+	acc := dense.Identity(g.N())
+	acc.Scale(alpha)
+	coeff := alpha
+	for i := 0; i < 4; i++ {
+		power = dense.Mul(tr, power)
+		coeff *= 1 - alpha
+		acc.AddScaled(power, coeff)
+		if got := ms[i].ToDense(); !got.Equal(acc, 1e-12) {
+			t.Fatalf("order %d: sparse recurrence diverged from dense reference", i+1)
+		}
+	}
+}
+
+// TestMatricesPruneDriftBounded bounds the approximation the per-order
+// power pruning introduces at a realistic threshold: every entry of the
+// emitted matrices must stay within eps of the exact (unpruned)
+// recurrence, so the compounding of dropped entries across orders never
+// exceeds the error the emission threshold already accepts.
+func TestMatricesPruneDriftBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.ErdosRenyi(200, 0.03, rng)
+	eps := 1e-4
+	pruned := Matrices(g, 5, 0.15, eps)
+	exact := Matrices(g, 5, 0.15, 0)
+	for i := range exact {
+		diff := exact[i].ToDense()
+		diff.Sub(pruned[i].ToDense())
+		if drift := diff.MaxAbs(); drift > eps {
+			t.Fatalf("order %d: pruning drifted %v from the exact recurrence (eps %v)", i+1, drift, eps)
+		}
+	}
+}
+
+// TestMatricesPrunedStaysSparse is the point of the SpGEMM rewrite: on a
+// large sparse graph with a realistic threshold, the emitted matrices must
+// keep far fewer than n² entries.
+func TestMatricesPrunedStaysSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ErdosRenyi(400, 0.01, rng)
+	ms := Matrices(g, 5, 0.15, 1e-3)
+	n2 := g.N() * g.N()
+	for i, m := range ms {
+		if m.NNZ() >= n2/4 {
+			t.Fatalf("order %d filled to %d of %d entries despite pruning", i+1, m.NNZ(), n2)
+		}
 	}
 }
 

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/sparse"
+)
+
+// benchGraphData builds one graph's training inputs with k Laplacian-like
+// aggregation matrices.
+func benchGraphData(n, k, d int, seed int64) *GraphData {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.ErdosRenyi(n, 0.05, rng)
+	laps := make([]*sparse.CSR, k)
+	scale := make([]float64, n)
+	for o := range laps {
+		for i := range scale {
+			scale[i] = 1 / float64(o+2)
+		}
+		laps[o] = g.Adjacency().DiagScale(scale, scale)
+	}
+	x := dense.New(n, d)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return &GraphData{Laps: laps, X: x}
+}
+
+// BenchmarkTrainWorkers measures the stage-3 epoch loop: 2·K independent
+// forward/backward passes per epoch fanned across the worker budget, with
+// per-task gradient buffers and per-worker reusable workspaces.
+func BenchmarkTrainWorkers(b *testing.B) {
+	src := benchGraphData(300, 8, 6, 1)
+	tgt := benchGraphData(280, 8, 6, 2)
+	for _, w := range []struct {
+		label   string
+		workers int
+	}{{"1", 1}, {"max", 0}} {
+		b.Run("workers="+w.label, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				enc := NewEncoder([]int{6, 32, 16}, []Activation{Tanh{}, Tanh{}}, rand.New(rand.NewSource(3)))
+				Train(enc, src, tgt, TrainConfig{Epochs: 10, LR: 0.01, Workers: w.workers})
+			}
+		})
+	}
+}

@@ -74,19 +74,34 @@ func (c *Cache) Output() *dense.Matrix { return c.A[len(c.A)-1] }
 // reinforced) normalised orbit Laplacian, x the node features. It returns
 // the cache holding every layer's activations.
 func (e *Encoder) Forward(lap *sparse.CSR, x *dense.Matrix) *Cache {
+	c := &Cache{}
+	e.ForwardReuse(c, lap, x, 0)
+	return c
+}
+
+// ForwardReuse is Forward writing into a caller-owned cache: when c's
+// buffers already have the right shapes they are overwritten in place, so
+// a training or fine-tuning loop allocates its activations once instead of
+// every pass. workers bounds the kernel fan-out (≤ 0 = GOMAXPROCS).
+func (e *Encoder) ForwardReuse(c *Cache, lap *sparse.CSR, x *dense.Matrix, workers int) {
 	if x.Cols != e.Dims[0] {
 		panic(fmt.Sprintf("nn: input has %d features, encoder expects %d", x.Cols, e.Dims[0]))
 	}
-	c := &Cache{Lap: lap, X: x, P: make([]*dense.Matrix, e.Layers()), A: make([]*dense.Matrix, e.Layers())}
+	if len(c.P) != e.Layers() {
+		c.P = make([]*dense.Matrix, e.Layers())
+		c.A = make([]*dense.Matrix, e.Layers())
+	}
+	c.Lap, c.X = lap, x
 	h := x
 	for l := 0; l < e.Layers(); l++ {
-		p := lap.MulDense(h)
-		z := dense.Mul(p, e.W[l])
+		p := dense.Ensure(c.P[l], x.Rows, h.Cols)
+		lap.MulDenseInto(p, h, workers)
+		z := dense.Ensure(c.A[l], x.Rows, e.Dims[l+1])
+		dense.MulInto(z, p, e.W[l], workers)
 		e.Acts[l].Forward(z.Data)
 		c.P[l], c.A[l] = p, z
 		h = z
 	}
-	return c
 }
 
 // Embed is a convenience wrapper returning only the final embeddings.
@@ -105,18 +120,45 @@ func (e *Encoder) Embed(lap *sparse.CSR, x *dense.Matrix) *dense.Matrix {
 //	dZˡ = dAˡ ⊙ fˡ′,  dWˡ = (L̃·Aˡ⁻¹)ᵀ·dZˡ = Pˡᵀ·dZˡ,
 //	dAˡ⁻¹ = L̃ᵀ·(dZˡ·Wˡᵀ) = L̃·(dZˡ·Wˡᵀ).
 func (e *Encoder) Backward(c *Cache, dOut *dense.Matrix, grads []*dense.Matrix) {
+	e.backwardReuse(c, dOut, grads, &workspace{}, 0)
+}
+
+// backwardReuse is Backward with a caller-owned workspace for the
+// intermediate dP/dA matrices, so repeated passes stop allocating them.
+func (e *Encoder) backwardReuse(c *Cache, dOut *dense.Matrix, grads []*dense.Matrix, ws *workspace, workers int) {
 	if len(grads) != e.Layers() {
 		panic(fmt.Sprintf("nn: %d gradient buffers for %d layers", len(grads), e.Layers()))
 	}
+	if len(ws.dP) != e.Layers() {
+		ws.dP = make([]*dense.Matrix, e.Layers())
+		ws.dA = make([]*dense.Matrix, e.Layers())
+	}
+	n := c.X.Rows
 	dA := dOut
 	for l := e.Layers() - 1; l >= 0; l-- {
 		e.Acts[l].Backward(dA.Data, c.A[l].Data) // dA becomes dZ in place
-		grads[l].Add(dense.MulAT(c.P[l], dA))
+		dense.MulATAccum(grads[l], c.P[l], dA, workers)
 		if l > 0 {
-			dP := dense.MulBT(dA, e.W[l])
-			dA = c.Lap.MulDense(dP) // L̃ is symmetric: L̃ᵀ·dP = L̃·dP
+			dP := dense.Ensure(ws.dP[l], n, e.Dims[l])
+			dense.MulBTInto(dP, dA, e.W[l], workers)
+			ws.dP[l] = dP
+			next := dense.Ensure(ws.dA[l], n, e.Dims[l])
+			c.Lap.MulDenseInto(next, dP, workers) // L̃ is symmetric: L̃ᵀ·dP = L̃·dP
+			ws.dA[l] = next
+			dA = next
 		}
 	}
+}
+
+// workspace bundles the per-goroutine scratch of one training task stream:
+// the forward cache, the backward intermediates and the reconstruction-
+// loss buffers. One worker reuses its workspace across every orbit and
+// epoch it processes, which removes the per-pass allocation churn that
+// used to dominate the training loop's GC time.
+type workspace struct {
+	cache          Cache
+	dP, dA         []*dense.Matrix
+	lh, grad, gram *dense.Matrix
 }
 
 // ZeroGrads returns zeroed gradient buffers shaped like the encoder's
@@ -139,11 +181,22 @@ func (e *Encoder) ZeroGrads() []*dense.Matrix {
 //	loss = ‖L̃‖²_F − 2·Σ(H ⊙ (L̃·H)) + ‖HᵀH‖²_F
 //	grad = −4·(L̃·H − H·(HᵀH))
 func ReconLoss(lap *sparse.CSR, h *dense.Matrix) (float64, *dense.Matrix) {
-	lh := lap.MulDense(h)     // n×d
-	gram := dense.MulAT(h, h) // d×d
-	loss := lap.SumSquares() - 2*h.Dot(lh) + gram.SumSquares()
-	grad := dense.Mul(h, gram) // H·(HᵀH)
-	grad.Sub(lh)
-	grad.Scale(4) // −4(L̃H − H·Gram) = 4(H·Gram − L̃H)
-	return loss, grad
+	return reconLossReuse(lap, h, &workspace{}, 0)
+}
+
+// reconLossReuse is ReconLoss writing its intermediates (and the returned
+// gradient) into the workspace, so an epoch loop reuses three buffers
+// instead of allocating them per orbit per epoch. The returned gradient
+// aliases ws.grad and is valid until the next call on the same workspace.
+func reconLossReuse(lap *sparse.CSR, h *dense.Matrix, ws *workspace, workers int) (float64, *dense.Matrix) {
+	ws.lh = dense.Ensure(ws.lh, h.Rows, h.Cols)
+	lap.MulDenseInto(ws.lh, h, workers) // n×d
+	ws.gram = dense.Ensure(ws.gram, h.Cols, h.Cols)
+	dense.MulATInto(ws.gram, h, h, workers) // d×d
+	loss := lap.SumSquares() - 2*h.Dot(ws.lh) + ws.gram.SumSquares()
+	ws.grad = dense.Ensure(ws.grad, h.Rows, h.Cols)
+	dense.MulInto(ws.grad, h, ws.gram, workers) // H·(HᵀH)
+	ws.grad.Sub(ws.lh)
+	ws.grad.Scale(4) // −4(L̃H − H·Gram) = 4(H·Gram − L̃H)
+	return loss, ws.grad
 }

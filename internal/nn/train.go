@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/par"
 	"github.com/htc-align/htc/internal/sparse"
 )
 
@@ -26,6 +27,13 @@ type TrainConfig struct {
 	// not improved for that many consecutive epochs — useful on easy
 	// instances where the paper's fixed epoch budget overshoots.
 	Patience int
+	// Workers bounds the goroutines used per epoch (≤ 0 = GOMAXPROCS).
+	// The 2·K forward/backward passes of one epoch are independent — the
+	// encoder weights are read-only until the shared Adam step — so they
+	// fan out across workers; gradients land in per-pass buffers that are
+	// reduced in a fixed order, which keeps the loss history and the
+	// learned weights bit-identical for every worker count.
+	Workers int
 	// OnEpoch, when non-nil, observes the summed reconstruction loss
 	// after each epoch (used for logging and convergence tests).
 	OnEpoch func(epoch int, loss float64)
@@ -34,6 +42,20 @@ type TrainConfig struct {
 	// callers (the alignment server) use it to reclaim workers from
 	// abandoned jobs.
 	Ctx context.Context
+}
+
+// trainTask is one (orbit, graph) reconstruction pass of an epoch. Tasks
+// are ordered orbit-major with the source graph first, matching the
+// serial loop of Algorithm 1, so reducing per-task results in task order
+// reproduces the serial arithmetic exactly.
+type trainTask struct {
+	lap *sparse.CSR
+	x   *dense.Matrix
+	// side is 0 for the source graph, 1 for the target: workers keep one
+	// workspace per side so buffer shapes stay stable across their tasks.
+	side int
+	// grads accumulates this task's weight gradient within an epoch.
+	grads []*dense.Matrix
 }
 
 // Train runs Algorithm 1 (multi-orbit-aware embedding): for every epoch it
@@ -47,7 +69,32 @@ func Train(enc *Encoder, src, tgt *GraphData, cfg TrainConfig) []float64 {
 	if cfg.Epochs <= 0 {
 		return nil
 	}
+
+	tasks := make([]*trainTask, 0, 2*len(src.Laps))
+	for k := range src.Laps {
+		for side, gd := range [2]*GraphData{src, tgt} {
+			tasks = append(tasks, &trainTask{
+				lap: gd.Laps[k], x: gd.X, side: side,
+				grads: enc.ZeroGrads(),
+			})
+		}
+	}
+
+	// Divide the budget: fan tasks across up to `outer` goroutines; when
+	// fewer tasks than workers exist (the low-order variants), the spare
+	// budget parallelises the dense kernels inside each pass instead.
+	// Zero orbits degenerate to epochs of zero loss and zero gradient,
+	// matching the old serial loop.
+	outer, inner := par.SplitOuterInner(cfg.Workers, len(tasks))
+
+	// One workspace per (worker, graph side): a worker's stride-W task
+	// sequence alternates sides, and per-side buffers keep every reuse a
+	// shape hit.
+	workspaces := make([][2]workspace, outer)
+
 	opt := NewAdam(enc.W, cfg.LR)
+	grads := enc.ZeroGrads()
+	losses := make([]float64, len(tasks))
 	history := make([]float64, 0, cfg.Epochs)
 	best := math.Inf(1)
 	sinceImprovement := 0
@@ -55,14 +102,29 @@ func Train(enc *Encoder, src, tgt *GraphData, cfg TrainConfig) []float64 {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			return history
 		}
-		grads := enc.ZeroGrads()
+		par.Sharded(outer, len(tasks), func(worker, t int) {
+			task := tasks[t]
+			ws := &workspaces[worker][task.side]
+			for _, g := range task.grads {
+				g.Zero()
+			}
+			enc.ForwardReuse(&ws.cache, task.lap, task.x, inner)
+			loss, dH := reconLossReuse(task.lap, ws.cache.Output(), ws, inner)
+			enc.backwardReuse(&ws.cache, dH, task.grads, ws, inner)
+			losses[t] = loss
+		})
+
+		// Reduce in task order: the additions happen in exactly the
+		// sequence the serial loop used, so the result is independent of
+		// how tasks were scheduled.
+		for _, g := range grads {
+			g.Zero()
+		}
 		var total float64
-		for k := range src.Laps {
-			for _, gd := range [2]*GraphData{src, tgt} {
-				cache := enc.Forward(gd.Laps[k], gd.X)
-				loss, dH := ReconLoss(gd.Laps[k], cache.Output())
-				enc.Backward(cache, dH, grads)
-				total += loss
+		for t, task := range tasks {
+			total += losses[t]
+			for l, g := range grads {
+				g.Add(task.grads[l])
 			}
 		}
 		opt.Step(grads)

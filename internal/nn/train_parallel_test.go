@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/sparse"
+)
+
+// trainFixture builds a small two-graph, multi-Laplacian training problem.
+func trainFixture(t *testing.T, seed int64) (src, tgt *GraphData, dims []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n int) *GraphData {
+		g := graph.ErdosRenyi(n, 0.25, rng)
+		laps := make([]*sparse.CSR, 3)
+		for k := range laps {
+			adj := g.Adjacency()
+			scale := make([]float64, n)
+			for i := range scale {
+				scale[i] = 1 / float64(k+2)
+			}
+			laps[k] = adj.DiagScale(scale, scale)
+		}
+		x := dense.New(n, 5)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		return &GraphData{Laps: laps, X: x}
+	}
+	return mk(24), mk(20), []int{5, 8, 4}
+}
+
+// TestTrainEmptyLaps pins the zero-orbit degenerate case: the epoch loop
+// must run (recording zero losses) instead of dividing by a zero task
+// count.
+func TestTrainEmptyLaps(t *testing.T) {
+	enc := NewEncoder([]int{3, 4, 2}, []Activation{Tanh{}, Tanh{}}, rand.New(rand.NewSource(1)))
+	x := dense.New(5, 3)
+	hist := Train(enc, &GraphData{X: x}, &GraphData{X: x}, TrainConfig{Epochs: 3, LR: 0.01, Workers: 4})
+	if len(hist) != 3 {
+		t.Fatalf("history length %d, want 3", len(hist))
+	}
+	for i, l := range hist {
+		if l != 0 {
+			t.Fatalf("loss[%d] = %v with no orbits", i, l)
+		}
+	}
+}
+
+// TestTrainWorkersEquivalence asserts that the parallel epoch fan-out is a
+// pure performance knob: the loss history and the trained weights must be
+// bit-identical for every worker count, because per-task gradients are
+// reduced in a fixed order.
+func TestTrainWorkersEquivalence(t *testing.T) {
+	src, tgt, dims := trainFixture(t, 42)
+	run := func(workers int) (*Encoder, []float64) {
+		enc := NewEncoder(dims, []Activation{Tanh{}, Tanh{}}, rand.New(rand.NewSource(7)))
+		hist := Train(enc, src, tgt, TrainConfig{Epochs: 15, LR: 0.01, Workers: workers})
+		return enc, hist
+	}
+	refEnc, refHist := run(1)
+	for _, w := range []int{2, 3, 8, 0} {
+		enc, hist := run(w)
+		if len(hist) != len(refHist) {
+			t.Fatalf("workers=%d: %d epochs vs %d", w, len(hist), len(refHist))
+		}
+		for i := range hist {
+			if hist[i] != refHist[i] {
+				t.Fatalf("workers=%d: loss[%d] = %v, serial %v", w, i, hist[i], refHist[i])
+			}
+		}
+		for l := range enc.W {
+			if !enc.W[l].Equal(refEnc.W[l], 0) {
+				t.Fatalf("workers=%d: weights of layer %d diverged", w, l)
+			}
+		}
+	}
+}

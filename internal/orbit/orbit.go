@@ -25,10 +25,8 @@
 package orbit
 
 import (
-	"runtime"
-	"sync"
-
 	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/par"
 )
 
 // NumOrbits is the number of edge orbits on 2–4-node graphlets.
@@ -75,40 +73,23 @@ func (c *Counts) Totals() [NumOrbits]int64 {
 // Count computes exact edge-orbit counts for every edge of g. Edges are
 // independent, so the work is sharded across GOMAXPROCS goroutines; the
 // result is deterministic.
-func Count(g *graph.Graph) *Counts {
+func Count(g *graph.Graph) *Counts { return CountN(g, 0) }
+
+// CountN is Count with an explicit worker budget (≤ 0 = GOMAXPROCS), so
+// the pipeline can divide CPUs between the source and target graph — or a
+// server between concurrent jobs — instead of both counts grabbing every
+// core. Each edge's counts are written by exactly one goroutine, so the
+// result is identical for every worker count.
+func CountN(g *graph.Graph, workers int) *Counts {
 	edges := g.Edges()
 	out := &Counts{G: g, PerEdge: make([][NumOrbits]int64, len(edges))}
-	parallelEdges(len(edges), func(start, end int) {
+	// Orbit counting costs a couple hundred neighbour probes per edge on
+	// typical graphs; 1<<8 per edge makes par's threshold split anything
+	// beyond a few hundred edges.
+	par.For(workers, len(edges), 1<<8, func(start, end int) {
 		countRange(g, out, start, end)
 	})
 	return out
-}
-
-// parallelEdges splits [0, n) across workers when n is large enough to
-// amortise goroutine startup.
-func parallelEdges(n int, fn func(start, end int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 256 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
-	}
-	wg.Wait()
 }
 
 // countRange fills the orbit counts of edges [from, to). Each worker owns

@@ -272,3 +272,22 @@ func BenchmarkCountDense300(b *testing.B) {
 		Count(g)
 	}
 }
+
+// BenchmarkCountWorkers measures the stage-1 kernel under an explicit
+// worker budget — the serial/parallel pair the pipeline benchmark
+// decomposes into.
+func BenchmarkCountWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ErdosRenyi(800, 0.02, rng)
+	for _, w := range []struct {
+		label   string
+		workers int
+	}{{"1", 1}, {"max", 0}} {
+		b.Run("workers="+w.label, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				CountN(g, w.workers)
+			}
+		})
+	}
+}

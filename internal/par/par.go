@@ -1,0 +1,185 @@
+// Package par is the pipeline's worker-budget engine: every parallel
+// stage — orbit counting, training fan-out, per-orbit fine-tuning and the
+// dense/sparse kernels underneath — routes its goroutine fan-out through
+// this package so that one explicit worker count (core.Config.Workers,
+// divided among jobs by the server) bounds the whole pipeline instead of
+// every layer independently grabbing GOMAXPROCS.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve normalises a worker budget: values ≤ 0 mean "use every CPU"
+// (GOMAXPROCS); anything else is returned unchanged.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// minWork is the estimated amount of per-call work (in rough "inner loop
+// iterations") below which goroutine startup costs more than it saves.
+const minWork = 1 << 15
+
+// worthIt reports whether n items of the given per-item cost justify a
+// fan-out. The comparison is done by division, not multiplication: n*cost
+// overflows int for large matrices (n and cost can each exceed 2³²), which
+// used to flip the sign of the estimate and silently serialise — or
+// mis-parallelise — the kernel.
+func worthIt(n, cost int) bool {
+	if n <= 0 {
+		return false
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	// n*cost > minWork  ⟺  n > minWork/cost (integer floor division).
+	return n > minWork/cost
+}
+
+// For splits the half-open range [0, n) into contiguous chunks across at
+// most `workers` goroutines (≤ 0 = GOMAXPROCS) and invokes fn(start, end)
+// on each chunk. cost estimates the per-item work so that small jobs run
+// inline. Each index is covered by exactly one chunk, so fn invocations
+// write disjoint output ranges and the result is deterministic for every
+// worker count.
+func For(workers, n, cost int, fn func(start, end int)) {
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 || !worthIt(n, cost) {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// Tasks runs n independent tasks with at most `workers` of them in flight
+// (≤ 0 = GOMAXPROCS). Tasks are claimed in index order by a static stride
+// schedule — worker w runs tasks w, w+W, w+2W, … — so the task→goroutine
+// assignment is deterministic and per-task state never needs locking.
+func Tasks(workers, n int, fn func(task int)) {
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for t := 0; t < n; t++ {
+			fn(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for t := g; t < n; t += w {
+				fn(t)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Sharded is Tasks with the worker index exposed: fn(worker, task) runs
+// task on the goroutine whose stable id is worker ∈ [0, W). Callers use
+// the id to give each goroutine private scratch buffers that persist
+// across its tasks. The task→worker assignment is the same static stride
+// schedule as Tasks, so it is deterministic. It returns W, the number of
+// worker slots actually used, so callers can size per-worker state.
+func Sharded(workers, n int, fn func(worker, task int)) int {
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for t := 0; t < n; t++ {
+			fn(0, t)
+		}
+		return 1
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for t := g; t < n; t += w {
+				fn(g, t)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return w
+}
+
+// Do runs the given functions concurrently, bounded by workers (≤ 0 =
+// GOMAXPROCS), and waits for all of them.
+func Do(workers int, fns ...func()) {
+	Tasks(workers, len(fns), func(t int) { fns[t]() })
+}
+
+// SplitOuterInner divides a budget between fanning out across n
+// independent tasks (outer) and parallelising inside each task (inner):
+// outer = min(budget, n) goroutines run tasks, and any budget left over
+// (fewer tasks than workers) multiplies into inner, the per-task kernel
+// fan-out. Both results are at least 1, including for n = 0.
+func SplitOuterInner(budget, n int) (outer, inner int) {
+	budget = Resolve(budget)
+	outer = budget
+	if outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
+// Split2 divides a worker budget between two concurrent subtasks
+// proportionally to their load estimates. Both shares are at least 1, so
+// the subtasks can always run concurrently; their sum never exceeds
+// max(workers, 2).
+func Split2(workers, loadA, loadB int) (int, int) {
+	w := Resolve(workers)
+	if w < 2 {
+		return 1, 1
+	}
+	if loadA < 1 {
+		loadA = 1
+	}
+	if loadB < 1 {
+		loadB = 1
+	}
+	a := w * loadA / (loadA + loadB)
+	if a < 1 {
+		a = 1
+	}
+	if a > w-1 {
+		a = w - 1
+	}
+	return a, w - a
+}

@@ -1,0 +1,112 @@
+package par
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d", got)
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 7, 256, 1000} {
+			seen := make([]int32, n)
+			For(workers, n, 1<<20, func(start, end int) {
+				for i := start; i < end; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForHugeCostDoesNotOverflow is the regression test for the old
+// n*cost work estimate: with cost near MaxInt the product wrapped negative
+// and the comparison against the serial threshold became meaningless.
+// The division-based estimate must still decide "parallel" and cover the
+// range exactly once.
+func TestForHugeCostDoesNotOverflow(t *testing.T) {
+	n := 64
+	var covered atomic.Int64
+	var calls atomic.Int64
+	For(4, n, math.MaxInt, func(start, end int) {
+		calls.Add(1)
+		covered.Add(int64(end - start))
+	})
+	if covered.Load() != int64(n) {
+		t.Fatalf("covered %d of %d items", covered.Load(), n)
+	}
+	// A huge per-item cost must justify the fan-out (when >1 worker is
+	// allowed): the old overflowing estimate would collapse to one call
+	// even on many-core machines. With GOMAXPROCS possibly 1 we can only
+	// assert it did not crash and covered everything; with more cores we
+	// additionally expect a real split.
+	if Resolve(4) > 1 && runtime.GOMAXPROCS(0) > 1 && calls.Load() < 2 {
+		t.Fatalf("huge cost did not fan out (calls=%d)", calls.Load())
+	}
+}
+
+func TestForSmallWorkRunsInline(t *testing.T) {
+	var calls atomic.Int64
+	For(8, 4, 1, func(start, end int) { calls.Add(1) })
+	if calls.Load() != 1 {
+		t.Fatalf("tiny job split into %d calls, want 1", calls.Load())
+	}
+}
+
+func TestTasksRunsAllDeterministically(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		n := 37
+		ran := make([]int32, n)
+		Tasks(workers, n, func(task int) { atomic.AddInt32(&ran[task], 1) })
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	Do(2, func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatal("Do skipped a task")
+	}
+	Do(2) // no tasks: must not hang
+}
+
+func TestSplit2(t *testing.T) {
+	a, b := Split2(8, 3, 1)
+	if a+b != 8 || a < 1 || b < 1 {
+		t.Fatalf("Split2(8,3,1) = %d,%d", a, b)
+	}
+	if a <= b {
+		t.Fatalf("proportional split inverted: %d,%d", a, b)
+	}
+	a, b = Split2(1, 10, 1)
+	if a != 1 || b != 1 {
+		t.Fatalf("Split2(1,…) = %d,%d, want 1,1", a, b)
+	}
+	a, b = Split2(2, 1000000, 1)
+	if a != 1 || b != 1 {
+		t.Fatalf("Split2(2, heavy, light) = %d,%d, want 1,1", a, b)
+	}
+}

@@ -238,6 +238,10 @@ type AlignResult struct {
 	TimingsMS StageMS `json:"timings_ms"`
 	// EpochsTrained is the number of training epochs actually run.
 	EpochsTrained int `json:"epochs_trained"`
+	// WorkersUsed is the pipeline CPU budget the job ran with: the
+	// requested config.workers capped at the server's per-job share of
+	// the machine (GOMAXPROCS divided by the worker-pool size).
+	WorkersUsed int `json:"workers_used,omitempty"`
 	// Cached reports that the result was served from the content-hash
 	// cache rather than recomputed.
 	Cached bool `json:"cached"`

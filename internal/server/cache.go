@@ -7,13 +7,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+
+	"github.com/htc-align/htc/internal/core"
 )
 
 // cacheKey derives the content hash that identifies an alignment: the
 // resolved request — graphs (or dataset coordinates), normalised pipeline
 // config and evaluation cutoffs — serialised canonically and hashed.
 // Requests that differ only in fields the run ignores (an unset epoch
-// count vs the explicit default) map to the same key.
+// count vs the explicit default) map to the same key. Workers is excluded:
+// parallelism never changes the result, so requests differing only in
+// their CPU budget share one cache entry.
 func cacheKey(req *AlignRequest) (string, error) {
 	canonical := struct {
 		Dataset  string      `json:"dataset,omitempty"`
@@ -33,7 +37,7 @@ func cacheKey(req *AlignRequest) (string, error) {
 		Source:   req.Source,
 		Target:   req.Target,
 		Truth:    req.Truth,
-		Config:   req.Config.WithDefaults(),
+		Config:   canonicalConfig(req.Config),
 		HitsAt:   req.cutoffs(),
 	}
 	blob, err := json.Marshal(canonical)
@@ -42,6 +46,14 @@ func cacheKey(req *AlignRequest) (string, error) {
 	}
 	sum := sha256.Sum256(blob)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalConfig normalises a pipeline config for hashing and strips the
+// fields that cannot influence the result (currently the worker budget).
+func canonicalConfig(cfg core.Config) core.Config {
+	cfg = cfg.WithDefaults()
+	cfg.Workers = 0
+	return cfg
 }
 
 // resultCache is a bounded, thread-safe LRU from content hash to

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"time"
 
 	"github.com/htc-align/htc/internal/core"
@@ -15,7 +16,12 @@ import (
 
 // Options configures a Server. The zero value selects sane defaults.
 type Options struct {
-	// Workers is the alignment worker-pool size (default 2).
+	// Workers is the alignment worker-pool size (default 2): how many
+	// jobs run concurrently. Each running job is additionally granted a
+	// per-job CPU budget of max(1, GOMAXPROCS/Workers) pipeline workers,
+	// so the budgets of a full pool sum to at most GOMAXPROCS and
+	// concurrent alignments never oversubscribe the machine. Requests may
+	// ask for fewer pipeline workers via config.workers, never more.
 	Workers int
 	// QueueDepth bounds the submission backlog (default 2×Workers).
 	QueueDepth int
@@ -93,6 +99,34 @@ func (s *Server) Close() { s.queue.Close() }
 // summary).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// perJobWorkers is the per-job CPU budget of a pool with the given size:
+// the machine's cores divided evenly among the jobs that can run at once,
+// never below 1. With pool ≤ gomaxprocs the budgets of a saturated pool
+// sum to at most gomaxprocs, so N in-flight alignments cannot
+// oversubscribe the machine; beyond that each job is already down to its
+// 1-worker floor.
+func perJobWorkers(gomaxprocs, pool int) int {
+	if pool < 1 {
+		pool = 1
+	}
+	w := gomaxprocs / pool
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// jobConfig resolves the pipeline config a job actually runs: the
+// requested worker count capped at the server's per-job CPU budget (0 =
+// "whatever the server grants").
+func (s *Server) jobConfig(cfg core.Config) core.Config {
+	budget := perJobWorkers(runtime.GOMAXPROCS(0), s.opts.Workers)
+	if cfg.Workers <= 0 || cfg.Workers > budget {
+		cfg.Workers = budget
+	}
+	return cfg
+}
+
 // runJob is the queue's Runner: materialise the pair, run the pipeline
 // under the job's context, extract the matching, evaluate, cache.
 func (s *Server) runJob(ctx context.Context, job *Job) (*AlignResult, error) {
@@ -103,7 +137,7 @@ func (s *Server) runJob(ctx context.Context, job *Job) (*AlignResult, error) {
 	if s.opts.MaxNodes > 0 && (pair.Source.N() > s.opts.MaxNodes || pair.Target.N() > s.opts.MaxNodes) {
 		return nil, fmt.Errorf("dataset exceeds server limit of %d nodes", s.opts.MaxNodes)
 	}
-	res, err := core.AlignContext(ctx, pair.Source, pair.Target, job.Req.Config)
+	res, err := core.AlignContext(ctx, pair.Source, pair.Target, s.jobConfig(job.Req.Config))
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +148,7 @@ func (s *Server) runJob(ctx context.Context, job *Job) (*AlignResult, error) {
 		PerOrbit:      make([]OrbitReport, len(res.PerOrbit)),
 		TimingsMS:     stageMS(res.Timings),
 		EpochsTrained: len(res.LossHistory),
+		WorkersUsed:   res.Workers,
 	}
 	for src, tgt := range match {
 		if tgt >= 0 {
@@ -212,14 +247,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	depth, capacity := s.queue.Depth()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"workers":        s.queue.Workers(),
-		"queue_depth":    depth,
-		"queue_capacity": capacity,
-		"jobs_tracked":   s.queue.Len(),
-		"cache_entries":  s.cache.len(),
-		"datasets":       Datasets(),
+		"status":          "ok",
+		"uptime_seconds":  time.Since(s.started).Seconds(),
+		"workers":         s.queue.Workers(),
+		"workers_per_job": perJobWorkers(runtime.GOMAXPROCS(0), s.opts.Workers),
+		"queue_depth":     depth,
+		"queue_capacity":  capacity,
+		"jobs_tracked":    s.queue.Len(),
+		"cache_entries":   s.cache.len(),
+		"datasets":        Datasets(),
 	})
 }
 

@@ -71,6 +71,61 @@ func FromEntries(rows, cols int, entries []Entry) *CSR {
 	return c
 }
 
+// Identity returns the n×n identity matrix in CSR form.
+func Identity(n int) *CSR {
+	if n < 0 {
+		panic(fmt.Sprintf("sparse: negative dimension %d", n))
+	}
+	c := &CSR{
+		Rows: n, Cols: n,
+		RowPtr: make([]int32, n+1),
+		ColIdx: make([]int32, n),
+		Val:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		c.RowPtr[i+1] = int32(i + 1)
+		c.ColIdx[i] = int32(i)
+		c.Val[i] = 1
+	}
+	return c
+}
+
+// Prune returns a copy of c without the entries whose magnitude is below
+// eps. With keepDiag set, diagonal entries survive regardless of size —
+// the invariant diffusion matrices need so every node stays
+// self-connected. The result is sized exactly: surviving entries are
+// counted first, so no append-doubling garbage is produced.
+func (c *CSR) Prune(eps float64, keepDiag bool) *CSR {
+	keep := func(i int, p int32) bool {
+		v := c.Val[p]
+		return v >= eps || -v >= eps || (keepDiag && int(c.ColIdx[p]) == i)
+	}
+	nnz := 0
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			if keep(i, p) {
+				nnz++
+			}
+		}
+	}
+	out := &CSR{
+		Rows: c.Rows, Cols: c.Cols,
+		RowPtr: make([]int32, c.Rows+1),
+		ColIdx: make([]int32, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			if keep(i, p) {
+				out.ColIdx = append(out.ColIdx, c.ColIdx[p])
+				out.Val = append(out.Val, c.Val[p])
+			}
+		}
+		out.RowPtr[i+1] = int32(len(out.Val))
+	}
+	return out
+}
+
 // FromDense converts a dense matrix to CSR, dropping exact zeros.
 func FromDense(m *dense.Matrix) *CSR {
 	var entries []Entry
@@ -206,20 +261,37 @@ func (c *CSR) DiagScale(left, right []float64) *CSR {
 		panic(fmt.Sprintf("sparse: DiagScale right length %d, want %d", len(right), c.Cols))
 	}
 	out := c.Clone()
+	c.DiagScaleInto(out, left, right)
+	return out
+}
+
+// DiagScaleInto writes diag(left)·c·diag(right) into dst, which must share
+// c's sparsity pattern (typically a Clone made once). The fine-tuning loop
+// rescales the same Laplacian every iteration; reusing dst avoids
+// re-cloning the index arrays each round.
+func (c *CSR) DiagScaleInto(dst *CSR, left, right []float64) {
+	if left != nil && len(left) != c.Rows {
+		panic(fmt.Sprintf("sparse: DiagScaleInto left length %d, want %d", len(left), c.Rows))
+	}
+	if right != nil && len(right) != c.Cols {
+		panic(fmt.Sprintf("sparse: DiagScaleInto right length %d, want %d", len(right), c.Cols))
+	}
+	if dst.Rows != c.Rows || dst.Cols != c.Cols || len(dst.Val) != len(c.Val) {
+		panic(fmt.Sprintf("sparse: DiagScaleInto dst %s does not match src %s", dst, c))
+	}
 	for i := 0; i < c.Rows; i++ {
 		lf := 1.0
 		if left != nil {
 			lf = left[i]
 		}
-		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
-			v := out.Val[p] * lf
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			v := c.Val[p] * lf
 			if right != nil {
-				v *= right[out.ColIdx[p]]
+				v *= right[c.ColIdx[p]]
 			}
-			out.Val[p] = v
+			dst.Val[p] = v
 		}
 	}
-	return out
 }
 
 // String renders the shape and density for debugging.

@@ -2,10 +2,9 @@ package sparse
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/par"
 )
 
 // MulDense returns c·x for a CSR matrix c (m×k) and dense x (k×n). This is
@@ -13,19 +12,22 @@ import (
 // L̃·(H·W) through it. Rows of the result are computed in parallel.
 func (c *CSR) MulDense(x *dense.Matrix) *dense.Matrix {
 	out := dense.New(c.Rows, x.Cols)
-	c.MulDenseInto(out, x)
+	c.MulDenseInto(out, x, 0)
 	return out
 }
 
-// MulDenseInto computes dst = c·x, overwriting dst.
-func (c *CSR) MulDenseInto(dst, x *dense.Matrix) {
+// MulDenseInto computes dst = c·x, overwriting dst, fanning out across at
+// most `workers` goroutines (≤ 0 = GOMAXPROCS). Each dst row is written by
+// exactly one goroutine, so the result is bit-identical for every worker
+// count.
+func (c *CSR) MulDenseInto(dst, x *dense.Matrix, workers int) {
 	if c.Cols != x.Rows || dst.Rows != c.Rows || dst.Cols != x.Cols {
 		panic(fmt.Sprintf("sparse: MulDense dimension mismatch %s · %dx%d -> %dx%d",
 			c, x.Rows, x.Cols, dst.Rows, dst.Cols))
 	}
 	n := x.Cols
 	dst.Zero()
-	parallelRows(c.Rows, avgRowCost(c)*n, func(start, end int) {
+	par.For(workers, c.Rows, avgRowCost(c)*n, func(start, end int) {
 		for i := start; i < end; i++ {
 			di := dst.Row(i)
 			for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
@@ -77,32 +79,4 @@ func avgRowCost(c *CSR) int {
 		return 1
 	}
 	return 1 + c.NNZ()/c.Rows
-}
-
-// parallelRows mirrors the helper in the dense package: it splits [0, n)
-// across GOMAXPROCS workers when the estimated work justifies it.
-func parallelRows(n, cost int, fn func(start, end int)) {
-	const minWork = 1 << 15
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n*cost < minWork {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
-	}
-	wg.Wait()
 }

@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(5)
+	if id.NNZ() != 5 {
+		t.Fatalf("identity nnz = %d", id.NNZ())
+	}
+	if !id.ToDense().Equal(dense.Identity(5), 0) {
+		t.Fatal("Identity(5) is not the identity")
+	}
+	if Identity(0).NNZ() != 0 {
+		t.Fatal("Identity(0) has entries")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	m := FromEntries(3, 3, []Entry{
+		{0, 0, 1e-6}, {0, 1, 0.5}, {1, 1, -1e-6}, {1, 2, -0.5}, {2, 0, 0.2},
+	})
+	p := m.Prune(1e-3, false)
+	if p.NNZ() != 3 {
+		t.Fatalf("pruned nnz = %d, want 3", p.NNZ())
+	}
+	if p.At(0, 1) != 0.5 || p.At(1, 2) != -0.5 || p.At(2, 0) != 0.2 {
+		t.Fatal("prune dropped a surviving entry")
+	}
+
+	// keepDiag retains tiny diagonals.
+	kd := m.Prune(1e-3, true)
+	if kd.At(0, 0) != 1e-6 || kd.At(1, 1) != -1e-6 {
+		t.Fatal("keepDiag did not keep the diagonal")
+	}
+	if kd.NNZ() != 5 {
+		t.Fatalf("keepDiag nnz = %d, want 5", kd.NNZ())
+	}
+
+	// eps = 0 keeps everything.
+	if m.Prune(0, false).NNZ() != m.NNZ() {
+		t.Fatal("Prune(0) changed the support")
+	}
+}
+
+func TestDiagScaleIntoMatchesDiagScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	entries := make([]Entry, 0, 60)
+	for k := 0; k < 60; k++ {
+		entries = append(entries, Entry{
+			Row: int32(rng.Intn(12)), Col: int32(rng.Intn(10)), Val: rng.NormFloat64(),
+		})
+	}
+	c := FromEntries(12, 10, entries)
+	left := make([]float64, 12)
+	right := make([]float64, 10)
+	for i := range left {
+		left[i] = rng.Float64() + 0.5
+	}
+	for i := range right {
+		right[i] = rng.Float64() + 0.5
+	}
+	want := c.DiagScale(left, right)
+	dst := c.Clone()
+	// Two rounds through the same buffer: values must come from c each
+	// time, not accumulate.
+	c.DiagScaleInto(dst, left, right)
+	c.DiagScaleInto(dst, left, right)
+	if !dst.ToDense().Equal(want.ToDense(), 0) {
+		t.Fatal("DiagScaleInto diverged from DiagScale")
+	}
+}

@@ -1,6 +1,9 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Mul returns the sparse product a·b as a new CSR matrix, computed with
 // Gustavson's row-wise algorithm: O(Σ flops of non-zero pairings). It is
@@ -29,15 +32,30 @@ func Mul(a, b *CSR) *CSR {
 				acc[j] += av * b.Val[q]
 			}
 		}
-		// Emit the row in sorted column order (CSR invariant).
-		sortInt32(touched)
-		for _, j := range touched {
-			if acc[j] != 0 {
-				out.ColIdx = append(out.ColIdx, j)
-				out.Val = append(out.Val, acc[j])
+		// Emit the row in sorted column order (CSR invariant). Dense rows
+		// (diffusion powers fill up fast) are emitted by scanning the
+		// accumulator once instead of sorting a near-n column list.
+		if len(touched) >= b.Cols/4 {
+			for j := range acc {
+				if mark[j] {
+					if acc[j] != 0 {
+						out.ColIdx = append(out.ColIdx, int32(j))
+						out.Val = append(out.Val, acc[j])
+					}
+					acc[j] = 0
+					mark[j] = false
+				}
 			}
-			acc[j] = 0
-			mark[j] = false
+		} else {
+			sortInt32(touched)
+			for _, j := range touched {
+				if acc[j] != 0 {
+					out.ColIdx = append(out.ColIdx, j)
+					out.Val = append(out.Val, acc[j])
+				}
+				acc[j] = 0
+				mark[j] = false
+			}
 		}
 		out.RowPtr[i+1] = int32(len(out.Val))
 	}
@@ -78,9 +96,15 @@ func Add(a, b *CSR, alpha, beta float64) *CSR {
 	return out
 }
 
-// sortInt32 is an insertion sort: touched-column lists are short and
-// nearly sorted, where insertion sort beats the generic sort.
+// sortInt32 sorts a touched-column list: insertion sort for the short,
+// nearly sorted lists typical of sparse rows, falling back to the stdlib
+// sort beyond that (insertion sort goes quadratic on the long, shuffled
+// lists the diffusion powers produce).
 func sortInt32(xs []int32) {
+	if len(xs) > 48 {
+		slices.Sort(xs)
+		return
+	}
 	for i := 1; i < len(xs); i++ {
 		v := xs[i]
 		j := i - 1

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Compare a fresh benchmark snapshot against a checked-in baseline and fail
+# when any shared benchmark regressed beyond the allowed factor.
+#
+# Usage: scripts/bench_check.sh baseline.json fresh.json [max-factor]
+#
+# Benchmarks are matched by name; entries present in only one file are
+# ignored (new benchmarks don't fail the gate). The default factor of 2 is
+# deliberately loose: snapshots are single-iteration smoke timings, and the
+# gate exists to catch order-of-magnitude mistakes (an accidentally serial
+# kernel, a reintroduced dense path), not percent-level noise.
+set -eu
+
+baseline=$1
+fresh=$2
+factor=${3:-2.0}
+
+# Extract "name ns_per_op" pairs from the snapshot JSON (one benchmark per
+# line, as produced by bench_snapshot.sh). The -GOMAXPROCS suffix Go
+# appends on multi-core hosts is stripped again here, so snapshots taken
+# before that normalisation (or hand-edited) still match by name.
+extract() {
+	tr ',' '\n' < "$1" | awk '
+		/"name"/    { gsub(/.*"name": "|"/, ""); sub(/-[0-9]+$/, ""); name = $0 }
+		/"ns_per_op"/ { gsub(/.*"ns_per_op": |}.*/, ""); print name, $0 }'
+}
+
+extract "$baseline" | sort > /tmp/bench_base.$$
+extract "$fresh" | sort > /tmp/bench_fresh.$$
+
+fail=0
+compared=0
+while read -r name base; do
+	new=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_fresh.$$)
+	[ -z "$new" ] && continue
+	compared=$((compared + 1))
+	worse=$(awk -v b="$base" -v n="$new" -v f="$factor" 'BEGIN { print (n > b * f) ? 1 : 0 }')
+	if [ "$worse" = 1 ]; then
+		echo "REGRESSION: $name ${base}ns -> ${new}ns (allowed factor $factor)" >&2
+		fail=1
+	else
+		echo "ok: $name ${base}ns -> ${new}ns"
+	fi
+done < /tmp/bench_base.$$
+
+rm -f /tmp/bench_base.$$ /tmp/bench_fresh.$$
+
+# A gate that compared nothing protects nothing — treat it as a failure
+# (renamed benchmarks must update the checked-in baseline alongside).
+if [ "$compared" = 0 ]; then
+	echo "ERROR: no benchmarks in common between $baseline and $fresh" >&2
+	fail=1
+fi
+exit $fail

@@ -1,31 +1,54 @@
 #!/usr/bin/env sh
-# Refresh the serving-layer perf baseline: run the internal/server
-# benchmarks once each and record them as JSON so future PRs have a
-# trajectory to compare against. Usage: scripts/bench_snapshot.sh [out.json]
+# Refresh a perf baseline: run a package's benchmarks once each and record
+# them as JSON so future PRs have a trajectory to compare against.
+#
+# Usage: scripts/bench_snapshot.sh [out.json] [package] [bench-regex]
+#
+#   scripts/bench_snapshot.sh                        # server baseline
+#   scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$'
+#
+# The snapshot records the host's CPU count: the workers=1 vs workers=max
+# series of the pipeline benchmarks only diverge on multi-core hosts.
 set -eu
 
 out=${1:-BENCH_server.json}
+pkg=${2:-./internal/server/}
+regex=${3:-.}
 
-go test -bench=. -benchtime=1x -run='^$' ./internal/server/ | awk \
+cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+# Run the benchmarks to a file first: in a `go test | awk` pipeline a
+# test failure would be masked by awk's exit status and produce an empty
+# (vacuously passing) snapshot.
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -bench "$regex" -benchtime=1x -run='^$' "$pkg" > "$raw"
+
+awk \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	-v goversion="$(go env GOVERSION)" \
-	-v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+	-v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" \
+	-v pkg="$pkg" -v cpus="$cpus" '
 BEGIN {
 	print "{"
 	printf "  \"generated_at\": \"%s\",\n", date
-	printf "  \"go\": \"%s\", \"goos\": \"%s\", \"goarch\": \"%s\",\n", goversion, goos, goarch
-	print  "  \"package\": \"internal/server\","
+	printf "  \"go\": \"%s\", \"goos\": \"%s\", \"goarch\": \"%s\", \"cpus\": %s,\n", goversion, goos, goarch, cpus
+	printf "  \"package\": \"%s\",\n", pkg
 	print  "  \"benchtime\": \"1x\","
 	print  "  \"benchmarks\": ["
 	n = 0
 }
 /^Benchmark/ {
+	# Strip the -GOMAXPROCS suffix Go appends on multi-core hosts
+	# (benchstat does the same), so names compare across machines.
+	name = $1
+	sub(/-[0-9]+$/, "", name)
 	if (n++) printf ",\n"
-	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3
 }
 END {
 	print "\n  ]"
 	print "}"
-}' > "$out"
+}' "$raw" > "$out"
 
 cat "$out"
