@@ -26,14 +26,14 @@ bench-snapshot:
 	./scripts/bench_snapshot.sh BENCH_server.json
 
 # Refresh the end-to-end pipeline baseline (BenchmarkAlign per variant,
-# workers=1 vs workers=max).
+# workers=1 vs workers=max, plus the staged-API prepare-reuse sweep).
 bench-pipeline:
-	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$'
 
 # The CI regression gate: re-measure and compare against the checked-in
 # pipeline baseline, failing on a >2x regression.
 bench-gate:
-	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$'
 	./scripts/bench_check.sh BENCH_pipeline.json BENCH_pipeline.ci.json 2.0
 
 ci: lint build test bench bench-gate

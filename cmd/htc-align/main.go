@@ -4,12 +4,17 @@
 // Usage:
 //
 //	htc-align -source s.graph -target t.graph [-k 13] [-epochs 60]
-//	          [-variant HTC|HTC-L|HTC-H|HTC-LT|HTC-DT] [-seed 1]
-//	          [-truth truth.txt] [-top 1]
+//	          [-variant HTC|HTC-L|HTC-H|HTC-LT|HTC-DT[,more...]] [-seed 1]
+//	          [-truth truth.txt] [-top 1] [-progress]
 //
 // The optional truth file contains one "source target" pair per line and
 // enables precision/MRR evaluation. Graph files are produced by
 // htc-datagen or by htc.WriteGraph.
+//
+// -variant accepts a comma-separated list: the pair is prepared once and
+// every variant aligns over the shared artifacts (staged API), printing
+// one section per variant. -progress streams per-stage progress (with
+// per-epoch ticks) to stderr.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	htc "github.com/htc-align/htc"
 )
@@ -31,10 +37,11 @@ func main() {
 	targetPath := flag.String("target", "", "target graph file (required)")
 	k := flag.Int("k", 0, "number of orbits (default 13)")
 	epochs := flag.Int("epochs", 0, "training epochs (default 60)")
-	variant := flag.String("variant", "HTC", "pipeline variant: HTC, HTC-L, HTC-H, HTC-LT, HTC-DT")
+	variant := flag.String("variant", "HTC", "pipeline variant(s), comma-separated: HTC, HTC-L, HTC-H, HTC-LT, HTC-DT")
 	seed := flag.Int64("seed", 1, "random seed")
 	truthPath := flag.String("truth", "", "optional ground-truth file for evaluation")
 	top := flag.Int("top", 1, "print the top-N candidates per source node")
+	progress := flag.Bool("progress", false, "stream pipeline progress to stderr")
 	flag.Parse()
 
 	if *sourcePath == "" || *targetPath == "" {
@@ -44,47 +51,77 @@ func main() {
 	gs := mustReadGraph(*sourcePath)
 	gt := mustReadGraph(*targetPath)
 
-	cfg := htc.Config{K: *k, Epochs: *epochs, Seed: *seed}
-	switch strings.ToUpper(*variant) {
-	case "HTC", "":
-		cfg.Variant = htc.VariantFull
-	case "HTC-L":
-		cfg.Variant = htc.VariantLowOrder
-	case "HTC-H":
-		cfg.Variant = htc.VariantHighOrder
-	case "HTC-LT":
-		cfg.Variant = htc.VariantLowOrderFT
-	case "HTC-DT":
-		cfg.Variant = htc.VariantDiffusion
-	default:
-		log.Fatalf("unknown variant %q", *variant)
+	var variants []htc.Variant
+	for _, name := range strings.Split(*variant, ",") {
+		v, err := htc.ParseVariant(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		variants = append(variants, v)
 	}
 
-	res, err := htc.Align(gs, gt, cfg)
+	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed}
+	if *progress {
+		base.Progress = progressLogger()
+	}
+	base.Variant = variants[0]
+	prep, err := htc.Prepare(gs, gt, base)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("# aligned %d source nodes to %d target nodes (%s)\n", gs.N(), gt.N(), *variant)
-	fmt.Printf("# timings: %v\n", res.Timings)
+	pt := prep.PrepareTimings()
+	fmt.Printf("# prepared pair %.12s… (orbit=%v laplacian=%v, shared by %d variant(s))\n",
+		prep.Hash(), pt.OrbitCounting.Round(time.Millisecond), pt.Laplacians.Round(time.Millisecond), len(variants))
 
-	if *top <= 1 {
-		for s, t := range res.Predict() {
-			fmt.Printf("%d %d\n", s, t)
-		}
-	} else {
-		for s := 0; s < gs.N(); s++ {
-			fmt.Printf("%d", s)
-			for _, t := range topQ(res.M.Row(s), *top) {
-				fmt.Printf(" %d", t)
-			}
-			fmt.Println()
-		}
+	var truth htc.Truth
+	if *truthPath != "" {
+		truth = mustReadTruth(*truthPath, gs.N())
 	}
 
-	if *truthPath != "" {
-		truth := mustReadTruth(*truthPath, gs.N())
-		rep := htc.Evaluate(res.M, truth, 1, 10)
-		fmt.Printf("# evaluation: %v\n", rep)
+	for _, v := range variants {
+		cfg := base
+		cfg.Variant = v
+		res, err := prep.Align(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# aligned %d source nodes to %d target nodes (%s)\n", gs.N(), gt.N(), v)
+		fmt.Printf("# timings: %v\n", res.Timings)
+
+		if *top <= 1 {
+			for s, t := range res.Predict() {
+				fmt.Printf("%d %d\n", s, t)
+			}
+		} else {
+			for s := 0; s < gs.N(); s++ {
+				fmt.Printf("%d", s)
+				for _, t := range topQ(res.M.Row(s), *top) {
+					fmt.Printf(" %d", t)
+				}
+				fmt.Println()
+			}
+		}
+
+		if truth != nil {
+			rep := htc.Evaluate(res.M, truth, 1, 10)
+			fmt.Printf("# evaluation: %v\n", rep)
+		}
+	}
+}
+
+// progressLogger streams stage transitions and coarse training progress
+// to stderr: one line per stage, plus a tick every tenth of the epoch
+// budget.
+func progressLogger() htc.Observer {
+	lastStage := ""
+	return func(ev htc.Progress) {
+		switch {
+		case ev.Stage != lastStage:
+			lastStage = ev.Stage
+			fmt.Fprintf(os.Stderr, "[%s] started (%d units)\n", ev.Stage, ev.Total)
+		case ev.Stage == htc.StageTrain && ev.Total >= 10 && ev.Done%(ev.Total/10) == 0:
+			fmt.Fprintf(os.Stderr, "[%s] epoch %d/%d loss=%.4f\n", ev.Stage, ev.Done, ev.Total, ev.Loss)
+		}
 	}
 }
 

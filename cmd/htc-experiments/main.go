@@ -4,11 +4,16 @@
 // Usage:
 //
 //	htc-experiments -run table1|table2|table3|fig6|fig7|fig8|fig9|fig10|fig11|all
-//	                [-scale 1.0] [-seed 1] [-epochs 0]
+//	                [-scale 1.0] [-seed 1] [-epochs 0] [-progress]
 //
 // Scale shrinks the datasets proportionally (useful for quick runs);
-// epochs overrides training length (0 = defaults). Output is plain text,
-// one section per artefact; EXPERIMENTS.md records a reference run.
+// epochs overrides training length (0 = defaults); -progress streams
+// per-stage pipeline progress to stderr. Output is plain text, one
+// section per artefact; EXPERIMENTS.md records a reference run.
+//
+// The variant and hyperparameter sweeps (table3, fig10, fig11) run on
+// the staged Prepare/Align API: each graph pair's orbit counts and
+// Laplacians are built once and shared across every configuration.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	htc "github.com/htc-align/htc"
 	"github.com/htc-align/htc/internal/experiments"
 )
 
@@ -29,9 +35,13 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
 	epochs := flag.Int("epochs", 0, "training epochs override (0 = defaults)")
+	progress := flag.Bool("progress", false, "stream pipeline stage progress to stderr")
 	flag.Parse()
 
 	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs}
+	if *progress {
+		o.Progress = stageLogger()
+	}
 	start := time.Now()
 
 	var table2Cells []experiments.Cell
@@ -82,5 +92,19 @@ func main() {
 func fail(err error) {
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// stageLogger returns a progress observer that prints one line per stage
+// transition (not per epoch/iteration — a full experiment run emits tens
+// of thousands of fine-grained events).
+func stageLogger() htc.Observer {
+	last := ""
+	return func(ev htc.Progress) {
+		if ev.Stage == last {
+			return
+		}
+		last = ev.Stage
+		fmt.Fprintf(os.Stderr, "  [stage] %s (%d/%d)\n", ev.Stage, ev.Done, ev.Total)
 	}
 }

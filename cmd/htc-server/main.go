@@ -5,13 +5,16 @@
 // Usage:
 //
 //	htc-server [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	           [-max-nodes N] [-quiet]
+//	           [-prepared-cache N] [-max-nodes N] [-quiet]
 //
 // Endpoints (see internal/server):
 //
 //	POST   /v1/align      submit a job; body names a dataset or carries
 //	                      two inline edge-list graphs plus a config
-//	GET    /v1/jobs/{id}  poll status; the result rides along once done
+//	POST   /v1/sweep      run a list of configs over one shared prepared
+//	                      pair (stages 1–2 paid once for the whole sweep)
+//	GET    /v1/jobs/{id}  poll status; queue position while waiting, live
+//	                      progress while running, the result once done
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
 //	GET    /v1/healthz    liveness and queue occupancy
 //	GET    /v1/metrics    Prometheus text metrics
@@ -46,15 +49,17 @@ func main() {
 	workers := flag.Int("workers", max(1, runtime.NumCPU()-1), "alignment worker pool size")
 	queueDepth := flag.Int("queue", 0, "submission backlog capacity (0 = 2×workers)")
 	cacheSize := flag.Int("cache", 128, "result cache capacity in entries")
+	preparedCache := flag.Int("prepared-cache", 8, "prepared-artifact cache capacity in graph pairs")
 	maxNodes := flag.Int("max-nodes", 20000, "per-graph node limit at admission (-1 = unlimited)")
 	quiet := flag.Bool("quiet", false, "suppress per-job logging")
 	flag.Parse()
 
 	opts := server.Options{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
-		MaxNodes:   *maxNodes,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheSize:         *cacheSize,
+		PreparedCacheSize: *preparedCache,
+		MaxNodes:          *maxNodes,
 	}
 	if !*quiet {
 		opts.Log = log.Default()
@@ -91,7 +96,7 @@ func main() {
 	}
 	svc.Close() // cancels outstanding jobs, waits for workers
 	m := svc.Metrics()
-	log.Printf("served %d jobs (%d completed, %d failed, %d cancelled, %d cache hits)",
+	log.Printf("served %d jobs (%d completed, %d failed, %d cancelled, %d cache hits, %d prepared reuses)",
 		m.JobsSubmitted.Load(), m.JobsCompleted.Load(), m.JobsFailed.Load(),
-		m.JobsCancelled.Load(), m.CacheHits.Load())
+		m.JobsCancelled.Load(), m.CacheHits.Load(), m.PreparedHits.Load())
 }

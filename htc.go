@@ -78,6 +78,10 @@ const (
 	VariantDiffusion = core.DiffusionFT
 )
 
+// ParseVariant resolves a paper name ("HTC", "HTC-L", "HTC-H", "HTC-LT",
+// "HTC-DT", case-insensitive) into a Variant.
+func ParseVariant(s string) (Variant, error) { return core.ParseVariant(s) }
+
 // Truth is the (possibly partial) ground-truth anchor map used for
 // evaluation: Truth[s] = target node, or −1.
 type Truth = metrics.Truth
@@ -154,8 +158,47 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
 
 // Align runs the HTC pipeline (or the configured ablation variant) on a
-// source and target graph and returns the alignment result.
+// source and target graph and returns the alignment result. It is the
+// one-shot form of the staged API: exactly Prepare followed by
+// Prepared.Align.
 func Align(gs, gt *Graph, cfg Config) (*Result, error) { return core.Align(gs, gt, cfg) }
+
+// Prepared holds a graph pair's config-independent pipeline artifacts —
+// validated graphs, input features, edge-orbit counts and aggregation
+// Laplacians — so several configs can be aligned over one pair while the
+// expensive stages 1–2 run at most once. It is safe for concurrent use.
+type Prepared = core.Prepared
+
+// PreparedStats reports how much artifact work a Prepared has absorbed.
+type PreparedStats = core.PreparedStats
+
+// Progress is one observation of a running pipeline, delivered to
+// Config.Progress: stage boundaries, training epochs, fine-tuning
+// iterations.
+type Progress = core.Progress
+
+// Observer receives Progress events; install one via Config.Progress.
+type Observer = core.Observer
+
+// The pipeline stages a Progress event can report, in execution order.
+const (
+	StageOrbitCounts = core.StageOrbitCounts
+	StageLaplacians  = core.StageLaplacians
+	StageTrain       = core.StageTrain
+	StageFineTune    = core.StageFineTune
+	StageIntegrate   = core.StageIntegrate
+)
+
+// Prepare validates a graph pair and builds the stage-1/2 artifacts the
+// given config needs; further Prepared.Align calls — under this or any
+// other config — reuse them, so variant and hyperparameter sweeps skip
+// the dominant per-run cost entirely.
+func Prepare(gs, gt *Graph, cfg Config) (*Prepared, error) { return core.Prepare(gs, gt, cfg) }
+
+// PairHash returns the content hash identifying a graph pair: equal
+// hashes mean interchangeable prepared artifacts (the alignment server
+// keys its artifact cache on it).
+func PairHash(gs, gt *Graph) string { return core.PairHash(gs, gt) }
 
 // Evaluate scores an alignment matrix against ground truth at the given
 // precision cutoffs.

@@ -37,6 +37,10 @@ type FineTuneConfig struct {
 	// once cancelled the loop stops early and returns the best result
 	// found so far (possibly with a nil M when cancelled immediately).
 	Ctx context.Context
+	// OnIter, when non-nil, observes each refinement iteration as it
+	// starts (1-based). The pipeline's progress reporting hangs off it;
+	// it never influences the loop.
+	OnIter func(iter int)
 }
 
 func (c FineTuneConfig) withDefaults() FineTuneConfig {
@@ -118,6 +122,9 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 			break
 		}
 		res.Iters = iter + 1
+		if cfg.OnIter != nil {
+			cfg.OnIter(iter + 1)
+		}
 		m := sim.lisiInto(sim.corrInto(hs, ht, w), cfg.M, w)
 		pairs := TrustedPairs(m)
 		if len(pairs) <= res.Trusted {

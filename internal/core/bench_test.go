@@ -2,7 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/graph"
 )
 
 // benchConfig is the end-to-end benchmark workload: large enough that
@@ -38,6 +42,77 @@ func BenchmarkAlign(b *testing.B) {
 			})
 		}
 	}
+}
+
+// densePair builds a denser benchmark pair than noisyPair: on dense
+// graphs the orbit-counting stage dominates end-to-end cost, matching the
+// regime of the paper's Fig. 8 — exactly where the staged API's artifact
+// reuse pays.
+func densePair(n int, seed int64) (*graph.Graph, *graph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	gs := graph.ErdosRenyi(n, 0.3, rng)
+	x := dense.New(n, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	gs = gs.WithAttrs(x)
+	b := graph.NewBuilder(n)
+	for _, e := range gs.Edges() {
+		if rng.Float64() >= 0.1 {
+			b.AddEdge(int(e[0]), int(e[1]))
+		}
+	}
+	return gs, b.Build().WithAttrs(x.Clone())
+}
+
+// sweepConfigs is a Table-III style 5-config roster over the orbit-based
+// family: every entry shares the single orbit-counting pass, and all but
+// the binary ablation share one set of Laplacians.
+func sweepConfigs() []Config {
+	base := Config{Variant: Full, K: 8, Hidden: 24, Embed: 12, Epochs: 8, M: 10, Seed: 1}
+	high := base
+	high.Variant = HighOrder
+	binary := base
+	binary.Binary = true
+	reseeded := base
+	reseeded.Seed = 2
+	narrow := base
+	narrow.M = 5
+	return []Config{base, high, binary, reseeded, narrow}
+}
+
+// BenchmarkPrepareReuse measures the staged API's headline win: a
+// 5-config sweep over one pair, run cold (5 one-shot Aligns, each paying
+// stages 1–2) vs staged (1 Prepare + 5 Prepared.Aligns over shared
+// artifacts). The reuse series must undercut cold by well over 2× — the
+// snapshot in BENCH_pipeline.json and scripts/bench_check.sh gate it.
+func BenchmarkPrepareReuse(b *testing.B) {
+	gs, gt := densePair(200, 9)
+	cfgs := sweepConfigs()
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				if _, err := Align(gs, gt, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := Prepare(gs, gt, cfgs[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfg := range cfgs {
+				if _, err := p.Align(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkAlignLarge is the scaling probe: one heavier orbit-variant run

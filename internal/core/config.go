@@ -149,6 +149,14 @@ type Config struct {
 	// best fine-tuning iteration in the Result (memory-heavy; used by
 	// the Fig. 11 visualisation).
 	KeepEmbeddings bool `json:"keep_embeddings,omitempty"`
+	// Progress, when non-nil, observes the run: stage boundaries, every
+	// training epoch, every fine-tuning iteration. Calls are serialised
+	// (the observer never races with itself) and carry no allocation, so
+	// a server can mirror them into a job-status endpoint. Progress is a
+	// pure observation channel — it never influences the result — so,
+	// like Workers, it is excluded from JSON serialisation and result
+	// caching.
+	Progress Observer `json:"-"`
 	// Seeds are known anchor links (source, target). HTC is fully
 	// unsupervised, but Proposition 2 treats "trusted (or known)" anchor
 	// nodes uniformly: when seeds are supplied they are reinforced

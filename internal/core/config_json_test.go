@@ -71,6 +71,30 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestConfigJSONIgnoresObservers pins that the progress observer — a
+// function value — stays out of the wire format: a Config carrying one
+// still marshals (the server hashes configs with encoding/json, which
+// would otherwise fail on a func field), emits no "progress" key, and
+// the callback is irrelevant to equality of the serialisable fields.
+func TestConfigJSONIgnoresObservers(t *testing.T) {
+	cfg := Config{Epochs: 5, Seed: 9, Progress: func(Progress) {}}
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshalling a Config with a Progress observer: %v", err)
+	}
+	if strings.Contains(string(blob), "progress") {
+		t.Errorf("progress observer leaked into JSON: %s", blob)
+	}
+	var back Config
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Progress = nil
+	if !reflect.DeepEqual(cfg, back) {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", cfg, back)
+	}
+}
+
 func TestConfigJSONDefaults(t *testing.T) {
 	// An empty body selects the paper's defaults, and unknown variants
 	// are rejected at decode time.

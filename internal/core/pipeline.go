@@ -6,15 +6,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/htc-align/htc/internal/align"
 	"github.com/htc-align/htc/internal/dense"
-	"github.com/htc-align/htc/internal/diffusion"
-	"github.com/htc-align/htc/internal/gom"
 	"github.com/htc-align/htc/internal/graph"
 	"github.com/htc-align/htc/internal/nn"
-	"github.com/htc-align/htc/internal/orbit"
 	"github.com/htc-align/htc/internal/par"
 )
 
@@ -81,6 +79,12 @@ func (r *Result) MatchOneToOne() []int {
 // Graphs without attributes are given structural surrogate features; when
 // only one side has attributes, or the dimensions differ, Align fails with
 // ErrAttrMismatch (alignment assumes a shared attribute space).
+//
+// Align is the one-shot convenience wrapper over the staged API: it is
+// exactly Prepare followed by Prepared.Align. Callers that run several
+// configs over the same pair should Prepare once and Align repeatedly —
+// the expensive stage-1/2 artifacts are then built once instead of per
+// run.
 func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
 	return AlignContext(context.Background(), gs, gt, cfg)
 }
@@ -91,15 +95,40 @@ func Align(gs, gt *graph.Graph, cfg Config) (*Result, error) {
 // stops promptly and returns ctx's error, so a server can reclaim the
 // worker goroutine of an abandoned job instead of burning CPU to the end.
 func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
 	start := time.Now()
-
-	if err := ctx.Err(); err != nil {
+	p, err := PrepareContext(ctx, gs, gt, cfg)
+	if err != nil {
 		return nil, err
 	}
-
-	xs, xt, err := featurePair(gs, gt)
+	res, err := p.AlignContext(ctx, cfg)
 	if err != nil {
+		return nil, err
+	}
+	// The eager artifact build happened inside Prepare; fold its cost back
+	// into this run's decomposition so one-shot timings read as before.
+	res.Timings.OrbitCounting += p.prep.OrbitCounting
+	res.Timings.Laplacians += p.prep.Laplacians
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+// Align runs pipeline stages 3–5 (training, fine-tuning, integration)
+// over the prepared pair under the given config, reusing the memoised
+// stage-1/2 artifacts — any artifacts the config needs that were not
+// built yet are built now and memoised for the next call. The result is
+// bit-identical to the one-shot Align of the same graphs and config.
+func (p *Prepared) Align(cfg Config) (*Result, error) {
+	return p.AlignContext(context.Background(), cfg)
+}
+
+// AlignContext is Prepared.Align with cooperative cancellation, with the
+// same promptness contract as the package-level AlignContext.
+func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	obs := newEmitter(cfg.Progress)
+
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -109,75 +138,32 @@ func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result
 	workers := par.Resolve(cfg.Workers)
 	res := &Result{Workers: workers}
 
-	// Stage 1: edge-orbit counting (only the orbit-based variants pay
-	// for it). The two graphs are independent, so they count
-	// concurrently, each with a share of the budget proportional to its
-	// edge count; orbit.CountN additionally shards its share across
-	// edges.
-	var countsS, countsT *orbit.Counts
-	if cfg.Variant.usesOrbits() {
-		t0 := time.Now()
-		if workers >= 2 {
-			ws, wt := par.Split2(workers, len(gs.Edges()), len(gt.Edges()))
-			par.Do(2,
-				func() { countsS = orbit.CountN(gs, ws) },
-				func() { countsT = orbit.CountN(gt, wt) })
-		} else {
-			countsS = orbit.CountN(gs, 1)
-			countsT = orbit.CountN(gt, 1)
-		}
-		res.Timings.OrbitCounting = time.Since(t0)
-	}
-	if err := ctx.Err(); err != nil {
+	// Stages 1–2: resolve the aggregation artifacts, building them only
+	// if this is the first config to need them.
+	sets, err := p.resolveSets(ctx, cfg, workers, &res.Timings, obs)
+	if err != nil {
 		return nil, err
 	}
-
-	// Stage 2: aggregation matrices (GOM Laplacians or alternatives),
-	// again one independent build per graph.
-	t0 := time.Now()
-	var setS, setT *gom.Set
-	buildPair := func(buildS, buildT func() *gom.Set) {
-		if workers >= 2 {
-			par.Do(2,
-				func() { setS = buildS() },
-				func() { setT = buildT() })
-		} else {
-			setS, setT = buildS(), buildT()
-		}
-	}
-	switch {
-	case cfg.Variant.usesOrbits():
-		buildPair(
-			func() *gom.Set { return gom.Build(gs, countsS, cfg.K, cfg.Binary) },
-			func() *gom.Set { return gom.Build(gt, countsT, cfg.K, cfg.Binary) })
-	case cfg.Variant == DiffusionFT:
-		order := cfg.K
-		if order > 5 {
-			order = 5 // the paper's best HTC-DT uses k = 5
-		}
-		diffuse := func(g *graph.Graph) *gom.Set {
-			return gom.FromMatrices(diffusion.Matrices(g, order, cfg.DiffusionAlpha, 1e-4))
-		}
-		buildPair(
-			func() *gom.Set { return diffuse(gs) },
-			func() *gom.Set { return diffuse(gt) })
-	default: // LowOrder, LowOrderFT
-		buildPair(
-			func() *gom.Set { return gom.LowOrder(gs) },
-			func() *gom.Set { return gom.LowOrder(gt) })
-	}
-	res.Timings.Laplacians = time.Since(t0)
+	setS, setT := sets.s, sets.t
+	xs, xt := p.xs, p.xt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Stage 3: multi-orbit-aware training (Algorithm 1). Train fans the
 	// per-orbit forward/backward passes of each epoch across the budget.
-	t0 = time.Now()
+	t0 := time.Now()
 	src := &nn.GraphData{Laps: setS.Laplacians, X: xs}
 	tgt := &nn.GraphData{Laps: setT.Laplacians, X: xt}
 	enc := newEncoder(cfg, xs.Cols)
-	res.LossHistory = nn.Train(enc, src, tgt, nn.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Patience: cfg.Patience, Workers: workers, Ctx: ctx})
+	trainCfg := nn.TrainConfig{Epochs: cfg.Epochs, LR: cfg.LR, Patience: cfg.Patience, Workers: workers, Ctx: ctx}
+	if obs != nil {
+		epochs := cfg.Epochs
+		trainCfg.OnEpoch = func(epoch int, loss float64) {
+			obs.emit(Progress{Stage: StageTrain, Done: epoch + 1, Total: epochs, Orbit: -1, Loss: loss})
+		}
+	}
+	res.LossHistory = nn.Train(enc, src, tgt, trainCfg)
 	res.Timings.Training = time.Since(t0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -199,7 +185,7 @@ func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result
 	// budget — beyond it, concurrency would multiply gigabyte-sized
 	// working sets, not speed; the unused share of the budget flows into
 	// each orbit's kernels instead.
-	slots := fineTuneConcurrencyCap(gs.N(), gt.N())
+	slots := fineTuneConcurrencyCap(p.gs.N(), p.gt.N())
 	if slots > k {
 		slots = k
 	}
@@ -214,11 +200,19 @@ func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result
 		res.TargetEmbeddings = make([]*dense.Matrix, k)
 	}
 	fts := make([]*align.FineTuneResult, k)
+	var orbitsDone atomic.Int64
 	par.Tasks(outer, k, func(i int) {
 		if ctx.Err() != nil {
 			return // cancelled: remaining orbits are skipped
 		}
-		fts[i] = align.FineTune(enc, setS.Laplacians[i], setT.Laplacians[i], xs, xt, ftCfg)
+		taskCfg := ftCfg
+		if obs != nil {
+			taskCfg.OnIter = func(iter int) {
+				obs.emit(Progress{Stage: StageFineTune, Done: int(orbitsDone.Load()), Total: k, Orbit: i, Iters: iter})
+			}
+		}
+		fts[i] = align.FineTune(enc, setS.Laplacians[i], setT.Laplacians[i], xs, xt, taskCfg)
+		obs.emit(Progress{Stage: StageFineTune, Done: int(orbitsDone.Add(1)), Total: k, Orbit: i, Iters: fts[i].Iters})
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -245,6 +239,7 @@ func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result
 	}
 	res.M = m
 	res.Timings.Integration = time.Since(t0)
+	obs.emit(Progress{Stage: StageIntegrate, Done: 1, Total: 1, Orbit: -1})
 
 	res.Timings.Total = time.Since(start)
 	return res, nil

@@ -1,0 +1,72 @@
+package core
+
+import "sync"
+
+// The pipeline stages a Progress event can report, in execution order.
+// OrbitCounting and Laplacian events are emitted only when the artifacts
+// are actually built — a Prepared pair that already holds them (a variant
+// sweep, a server artifact-cache hit) goes straight to training.
+const (
+	// StageOrbitCounts is stage 1: edge-orbit counting on both graphs.
+	StageOrbitCounts = "orbit_counts"
+	// StageLaplacians is stage 2: GOM/diffusion Laplacian construction.
+	StageLaplacians = "laplacians"
+	// StageTrain is stage 3: multi-orbit-aware training; one event per
+	// epoch, carrying the epoch loss.
+	StageTrain = "train"
+	// StageFineTune is stage 4: per-orbit trusted-pair fine-tuning; one
+	// event per refinement iteration and one per completed orbit.
+	StageFineTune = "fine_tune"
+	// StageIntegrate is stage 5: posterior importance integration.
+	StageIntegrate = "integrate"
+)
+
+// Progress is one observation of a running pipeline, delivered to the
+// Config.Progress callback at stage boundaries, after every training
+// epoch and around every fine-tuning iteration. Done/Total count the
+// stage's units of work: graphs for the build stages, epochs for
+// training, orbits for fine-tuning.
+type Progress struct {
+	// Stage names the pipeline stage (the Stage* constants).
+	Stage string `json:"stage"`
+	// Done and Total count the stage's completed and planned work units.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Orbit is the orbit a fine-tuning event concerns (−1 elsewhere).
+	Orbit int `json:"orbit"`
+	// Iters is the fine-tuning iteration count behind the event.
+	Iters int `json:"iters,omitempty"`
+	// Loss is the training loss Γ of the epoch just finished.
+	Loss float64 `json:"loss,omitempty"`
+}
+
+// Observer receives Progress events. Events may originate from the
+// pipeline's worker goroutines; the pipeline serialises the calls, so an
+// Observer never runs concurrently with itself, but it must not block for
+// long (it sits on the hot path) and must not call back into the pipeline.
+type Observer func(Progress)
+
+// emitter serialises Observer calls: fine-tuning events are produced by
+// concurrent per-orbit goroutines, and the callback contract promises the
+// observer never races with itself. A nil emitter (no observer installed)
+// drops events for free.
+type emitter struct {
+	mu sync.Mutex
+	fn Observer
+}
+
+func newEmitter(fn Observer) *emitter {
+	if fn == nil {
+		return nil
+	}
+	return &emitter{fn: fn}
+}
+
+func (e *emitter) emit(p Progress) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.fn(p)
+	e.mu.Unlock()
+}

@@ -31,6 +31,10 @@ type Options struct {
 	Seed int64
 	// Epochs overrides training epochs (0 = method defaults).
 	Epochs int
+	// Progress, when non-nil, observes every HTC pipeline run of the
+	// experiment (the htc-experiments -progress flag feeds it to a
+	// stderr logger). Baseline methods don't report progress.
+	Progress core.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -50,7 +54,7 @@ func (o Options) size(base int) int {
 
 // htcConfig is the shared HTC configuration for all experiments.
 func (o Options) htcConfig() core.Config {
-	return core.Config{Hidden: 64, Embed: 32, Epochs: o.Epochs, Seed: o.Seed}
+	return core.Config{Hidden: 64, Embed: 32, Epochs: o.Epochs, Seed: o.Seed, Progress: o.Progress}
 }
 
 // realWorldPairs generates the three "real-world" pairs at the requested

@@ -38,16 +38,22 @@ func Fig11(o Options) ([]TSNEResult, string, error) {
 	o = o.withDefaults()
 	pair := datasets.Douban(o.size(450), o.Seed+1)
 
+	// Both runs share one prepared pair: the trained (Full) and untrained
+	// (HighOrder) passes use the same orbit counts and Laplacians.
 	afterCfg := o.htcConfig()
 	afterCfg.KeepEmbeddings = true
-	after, err := core.Align(pair.Source, pair.Target, afterCfg)
+	prep, err := core.Prepare(pair.Source, pair.Target, afterCfg)
+	if err != nil {
+		return nil, "", fmt.Errorf("fig11 prepare: %w", err)
+	}
+	after, err := prep.Align(afterCfg)
 	if err != nil {
 		return nil, "", fmt.Errorf("fig11 trained run: %w", err)
 	}
 	beforeCfg := afterCfg
 	beforeCfg.Epochs = 1 // essentially the random initialisation
 	beforeCfg.Variant = core.HighOrder
-	before, err := core.Align(pair.Source, pair.Target, beforeCfg)
+	before, err := prep.Align(beforeCfg)
 	if err != nil {
 		return nil, "", fmt.Errorf("fig11 untrained run: %w", err)
 	}

@@ -180,7 +180,10 @@ type HyperPoint struct {
 
 // Fig10 regenerates the hyperparameter study: sweeps of the orbit count K,
 // embedding dimension d, neighbourhood size m and reinforcement rate β on
-// Douban and Allmovie–Imdb.
+// Douban and Allmovie–Imdb. The whole grid runs over one Prepared per
+// pair: the 13-orbit counts are shared by every point (including the K
+// sweep — counting always covers all orbits), and the d/m/β sweeps
+// additionally share one set of Laplacians.
 func Fig10(o Options) ([]HyperPoint, string, error) {
 	o = o.withDefaults()
 	pairs := []*datasets.Pair{
@@ -188,8 +191,16 @@ func Fig10(o Options) ([]HyperPoint, string, error) {
 		datasets.AllmovieImdb(o.size(400), o.Seed),
 	}
 	var points []HyperPoint
+	preps := make(map[*datasets.Pair]*core.Prepared, len(pairs))
+	for _, pair := range pairs {
+		prep, err := core.Prepare(pair.Source, pair.Target, o.htcConfig())
+		if err != nil {
+			return nil, "", fmt.Errorf("preparing %s: %w", pair.Name, err)
+		}
+		preps[pair] = prep
+	}
 	run := func(pair *datasets.Pair, param string, value float64, cfg core.Config) error {
-		res, err := core.Align(pair.Source, pair.Target, cfg)
+		res, err := preps[pair].Align(cfg)
 		if err != nil {
 			return fmt.Errorf("%s sweep on %s: %w", param, pair.Name, err)
 		}

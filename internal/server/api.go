@@ -7,15 +7,22 @@
 // Endpoints:
 //
 //	POST   /v1/align      submit an alignment job (202; 200 on cache hit)
-//	GET    /v1/jobs/{id}  job status, result once done
+//	POST   /v1/sweep      run several configs over one shared prepared pair
+//	GET    /v1/jobs/{id}  job status, queue position, live progress, result
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
 //	GET    /v1/healthz    liveness + queue occupancy
 //	GET    /v1/metrics    Prometheus text metrics
+//
+// The server runs the staged pipeline API: each job Prepares its graph
+// pair (or reuses another job's Prepared via a content-hash artifact
+// cache) and Aligns configs against it, so repeated work on one pair
+// never re-pays the orbit-counting and Laplacian construction stages.
 package server
 
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"time"
 
@@ -100,8 +107,14 @@ type AlignRequest struct {
 	Truth []int `json:"truth,omitempty"`
 
 	// Config holds the pipeline hyperparameters (zero value = paper
-	// defaults).
+	// defaults). Single-config requests (POST /v1/align) use it; sweep
+	// requests must leave it empty and list Configs instead.
 	Config core.Config `json:"config"`
+	// Configs lists the pipeline configurations of a sweep (POST
+	// /v1/sweep): every config runs over one shared prepared pair, so
+	// the expensive config-independent stages are paid once for the
+	// whole sweep. At most MaxSweepConfigs entries.
+	Configs []core.Config `json:"configs,omitempty"`
 	// HitsAt lists the precision@q cutoffs to evaluate (default 1, 5, 10).
 	HitsAt []int `json:"hits_at,omitempty"`
 
@@ -109,6 +122,10 @@ type AlignRequest struct {
 	// validation so the worker doesn't rebuild (and re-scan the attrs
 	// of) large inline requests.
 	builtSource, builtTarget *graph.Graph
+	// sweepKeys memoises the per-config result-cache keys the sweep
+	// handler computed at submit time, so the worker doesn't re-serialise
+	// a large inline pair once per config.
+	sweepKeys []string
 }
 
 // validate performs the request checks that don't require running the
@@ -155,8 +172,11 @@ func (r *AlignRequest) validate(maxNodes int) error {
 				return fmt.Errorf("truth has %d entries for %d source nodes", len(r.Truth), r.Source.Nodes)
 			}
 			for s, t := range r.Truth {
-				if t >= r.Target.Nodes {
-					return fmt.Errorf("truth[%d]=%d outside %d target nodes", s, t, r.Target.Nodes)
+				// Valid entries are a target node or −1 ("unknown");
+				// anything below −1 is a client bug that the metrics
+				// layer would otherwise silently score as unknown.
+				if t < -1 || t >= r.Target.Nodes {
+					return fmt.Errorf("truth[%d]=%d outside %d target nodes (use -1 for unknown)", s, t, r.Target.Nodes)
 				}
 			}
 		}
@@ -170,6 +190,43 @@ func (r *AlignRequest) validate(maxNodes int) error {
 		return fmt.Errorf("at most 16 hits_at cutoffs, got %d", len(r.HitsAt))
 	}
 	return nil
+}
+
+// MaxSweepConfigs bounds how many configurations one sweep may carry:
+// enough for a full Table-III variant roster plus a hyperparameter grid,
+// small enough that a single job cannot monopolise a worker forever.
+const MaxSweepConfigs = 32
+
+// validateSingle layers the /v1/align-only checks on top of validate.
+func (r *AlignRequest) validateSingle() error {
+	if len(r.Configs) > 0 {
+		return fmt.Errorf("config lists belong to POST /v1/sweep; /v1/align takes a single config")
+	}
+	return nil
+}
+
+// validateSweep layers the /v1/sweep-only checks on top of validate.
+func (r *AlignRequest) validateSweep() error {
+	if len(r.Configs) == 0 {
+		return fmt.Errorf("sweep requests need a non-empty configs list")
+	}
+	if len(r.Configs) > MaxSweepConfigs {
+		return fmt.Errorf("at most %d configs per sweep, got %d", MaxSweepConfigs, len(r.Configs))
+	}
+	if !reflect.DeepEqual(r.Config, core.Config{}) {
+		return fmt.Errorf("sweep requests list configurations under configs; the singular config field must be empty")
+	}
+	return nil
+}
+
+// singleRequest derives the equivalent single-config request of one sweep
+// entry — the identity under which its result is cached, so sweeps and
+// individual /v1/align submissions share cache entries both ways.
+func (r *AlignRequest) singleRequest(cfg core.Config) *AlignRequest {
+	single := *r
+	single.Config = cfg
+	single.Configs = nil
+	return &single
 }
 
 // cutoffs returns the sorted, deduplicated precision@q cutoffs, applying
@@ -245,16 +302,70 @@ type AlignResult struct {
 	// Cached reports that the result was served from the content-hash
 	// cache rather than recomputed.
 	Cached bool `json:"cached"`
+	// PreparedCached reports that the run reused another job's prepared
+	// artifacts (orbit counts, Laplacians) via the server's artifact
+	// cache instead of building them itself.
+	PreparedCached bool `json:"prepared_cached,omitempty"`
+}
+
+// SweepEntry is one configuration's outcome within a sweep job.
+type SweepEntry struct {
+	// Config is the normalised configuration the entry ran (defaults
+	// applied, worker budget stripped).
+	Config core.Config `json:"config"`
+	// Result is the entry's alignment outcome; nil when Error is set.
+	Result *AlignResult `json:"result,omitempty"`
+	// Error carries a per-entry failure without failing the whole sweep.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepResult is the payload of a completed sweep job.
+type SweepResult struct {
+	// PairHash is the content hash of the shared graph pair — the key
+	// under which its prepared artifacts are cached across jobs. Empty
+	// when the whole sweep was assembled from the result cache without
+	// ever materialising the graphs.
+	PairHash string `json:"pair_hash,omitempty"`
+	// PreparedCached reports that the sweep reused an earlier job's
+	// prepared artifacts rather than building its own.
+	PreparedCached bool `json:"prepared_cached"`
+	// Results holds one entry per requested config, in request order.
+	Results []SweepEntry `json:"results"`
+}
+
+// ProgressInfo is the live progress block of a running job, mirrored from
+// the pipeline's progress events into GET /v1/jobs/{id}.
+type ProgressInfo struct {
+	// Stage is the pipeline stage currently running (core.Stage*).
+	Stage string `json:"stage"`
+	// Done and Total count the stage's completed and planned work units
+	// (graphs for the build stages, epochs for training, orbits for
+	// fine-tuning).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Config and Configs locate a sweep job within its configuration
+	// list (1-based; absent on single-config jobs).
+	Config  int `json:"config,omitempty"`
+	Configs int `json:"configs,omitempty"`
 }
 
 // JobInfo is the job-facing view returned by the submit and poll
 // endpoints.
 type JobInfo struct {
-	ID          string       `json:"id"`
-	Status      JobStatus    `json:"status"`
-	Error       string       `json:"error,omitempty"`
-	SubmittedAt time.Time    `json:"submitted_at"`
-	StartedAt   *time.Time   `json:"started_at,omitempty"`
-	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
-	Result      *AlignResult `json:"result,omitempty"`
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	Error  string    `json:"error,omitempty"`
+	// QueuePosition is the job's 1-based place among still-queued jobs
+	// (present only while queued), so pollers can tell "waiting behind
+	// N others" from "stuck".
+	QueuePosition int `json:"queue_position,omitempty"`
+	// Progress is the live pipeline progress of a running job.
+	Progress    *ProgressInfo `json:"progress,omitempty"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	// Result carries a finished single-config job's payload.
+	Result *AlignResult `json:"result,omitempty"`
+	// Sweep carries a finished sweep job's payload.
+	Sweep *SweepResult `json:"sweep,omitempty"`
 }

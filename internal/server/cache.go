@@ -115,3 +115,68 @@ func (c *resultCache) len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// preparedCache is a bounded LRU from a graph pair's content hash
+// (core.PairHash) to its prepared pipeline artifacts, so separate jobs on
+// the same pair — a client re-submitting with new hyperparameters, a
+// sweep following a single align — share one orbit-counting pass and one
+// set of Laplacians. A core.Prepared is immutable input-wise and
+// concurrency-safe, so handing the same instance to concurrent jobs is
+// sound; it only ever accretes more memoised artifacts. The cache is
+// kept much smaller than the result cache because each entry pins whole
+// graphs plus per-orbit sparse matrices.
+type preparedCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type preparedEntry struct {
+	key  string
+	prep *core.Prepared
+}
+
+func newPreparedCache(capacity int) *preparedCache {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &preparedCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached prepared pair, or nil.
+func (c *preparedCache) get(key string) *core.Prepared {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*preparedEntry).prep
+}
+
+// put stores a prepared pair, evicting the least recently used entry
+// when full. A concurrent duplicate (two jobs preparing the same pair at
+// once) keeps the first stored instance so later jobs converge on one.
+func (c *preparedCache) put(key string, prep *core.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&preparedEntry{key: key, prep: prep})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*preparedEntry).key)
+	}
+}
+
+// len reports the number of cached prepared pairs.
+func (c *preparedCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/htc-align/htc/internal/core"
+)
+
+// -update regenerates the golden fixtures from the live server:
+//
+//	go test ./internal/server/ -run TestV1Golden -update
+var update = flag.Bool("update", false, "rewrite golden API fixtures")
+
+// volatileKeys are response fields that legitimately differ between runs
+// or hosts (ids, wall-clock, CPU budget); the golden comparison replaces
+// their values with placeholders. Everything else — field names, shapes,
+// orderings, numerical results — is part of the locked contract.
+var volatileKeys = map[string]any{
+	"id":             "<id>",
+	"submitted_at":   "<time>",
+	"started_at":     "<time>",
+	"finished_at":    "<time>",
+	"timings_ms":     "<timings>",
+	"workers_used":   "<workers>",
+	"queue_position": "<position>",
+}
+
+// normalize walks decoded JSON and stubs the volatile fields.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			if stub, ok := volatileKeys[k]; ok {
+				x[k] = stub
+				continue
+			}
+			x[k] = normalize(val)
+		}
+		return x
+	case []any:
+		for i := range x {
+			x[i] = normalize(x[i])
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// canonicalJSON renders a body with volatile fields stubbed and keys
+// sorted, ready for byte comparison against a golden file.
+func canonicalJSON(t *testing.T, blob []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(blob, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, blob)
+	}
+	out, err := json.MarshalIndent(normalize(v), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	got := canonicalJSON(t, body)
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: response deviates from the locked v1 contract.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+func readFixture(t *testing.T, name string) string {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestV1GoldenAlign locks the wire contract of POST /v1/align and GET
+// /v1/jobs/{id}: the API redesign (and any future one) must not change
+// what existing single-config clients see.
+func TestV1GoldenAlign(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	body := readFixture(t, "align_request.json")
+
+	resp, err := http.Post(ts.URL+"/v1/align", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBlob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", resp.StatusCode, submitBlob)
+	}
+	checkGolden(t, "align_submit.golden", submitBlob)
+
+	var info JobInfo
+	if err := json.Unmarshal(submitBlob, &info); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, ts, info.ID, StatusDone)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneBlob, _ := readAll(resp)
+	checkGolden(t, "align_job_done.golden", doneBlob)
+}
+
+// TestV1GoldenSweep locks the sweep job payload shape the same way.
+func TestV1GoldenSweep(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	body := readFixture(t, "sweep_request.json")
+
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBlob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", resp.StatusCode, submitBlob)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(submitBlob, &info); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, ts, info.ID, StatusDone)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneBlob, _ := readAll(resp)
+	checkGolden(t, "sweep_job_done.golden", doneBlob)
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// TestAlignRequestConfigsRoundTrip covers the sweep field of the request
+// schema: a configs list survives JSON serialisation verbatim.
+func TestAlignRequestConfigsRoundTrip(t *testing.T) {
+	req := AlignRequest{
+		Dataset: "synthetic", N: 80, DataSeed: 3,
+		Configs: []core.Config{
+			{Variant: core.Full, K: 4, Epochs: 5},
+			{Variant: core.DiffusionFT, DiffusionAlpha: 0.3, Binary: true},
+		},
+		HitsAt: []int{1, 3},
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AlignRequest
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, back) {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", req, back)
+	}
+}

@@ -19,6 +19,14 @@ type Metrics struct {
 	JobsRunning   atomic.Int64 // gauge: jobs currently holding a worker
 	CacheHits     atomic.Int64
 	CacheMisses   atomic.Int64
+	// PreparedHits/Misses count artifact-cache lookups: a hit means a job
+	// skipped the orbit-counting and Laplacian stages entirely because an
+	// earlier job on the same graph pair already built them.
+	PreparedHits   atomic.Int64
+	PreparedMisses atomic.Int64
+	// SweepConfigs counts individual configurations executed by sweep
+	// jobs (cache-served entries included).
+	SweepConfigs atomic.Int64
 }
 
 // writePrometheus renders the counters in Prometheus exposition format.
@@ -34,6 +42,9 @@ func (m *Metrics) writePrometheus(w io.Writer, extras map[string]float64) {
 	counter("htc_jobs_cancelled_total", "Jobs cancelled before completion.", m.JobsCancelled.Load())
 	counter("htc_cache_hits_total", "Submissions served from the result cache.", m.CacheHits.Load())
 	counter("htc_cache_misses_total", "Submissions that required a pipeline run.", m.CacheMisses.Load())
+	counter("htc_prepared_hits_total", "Jobs that reused cached prepared artifacts for their graph pair.", m.PreparedHits.Load())
+	counter("htc_prepared_misses_total", "Jobs that had to prepare their graph pair from scratch.", m.PreparedMisses.Load())
+	counter("htc_sweep_configs_total", "Configurations executed on behalf of sweep jobs.", m.SweepConfigs.Load())
 	fmt.Fprintf(w, "# HELP htc_jobs_running Jobs currently holding a worker.\n# TYPE htc_jobs_running gauge\nhtc_jobs_running %d\n", m.JobsRunning.Load())
 	names := make([]string, 0, len(extras))
 	for name := range extras {

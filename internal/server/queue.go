@@ -35,17 +35,22 @@ var ErrQueueClosed = errors.New("server: job queue is closed")
 // state is guarded by mu; Info snapshots it for serialisation.
 type Job struct {
 	ID string
-	// Req is the validated request; CacheKey its content hash.
+	// Req is the validated request; CacheKey its content hash (empty for
+	// sweep jobs, whose results are cached per config instead).
 	Req      *AlignRequest
 	CacheKey string
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// enqSeq orders jobs by submission for queue-position reporting.
+	enqSeq uint64
+
 	mu        sync.Mutex
 	status    JobStatus
 	err       error
-	result    *AlignResult
+	result    any // *AlignResult or *SweepResult
+	progress  *ProgressInfo
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -72,6 +77,18 @@ func (j *Job) Cancel() {
 	j.cancel()
 }
 
+// SetProgress publishes a running job's live pipeline progress; poll
+// responses mirror the latest value. Updates after the job left the
+// running state are dropped (a cancelled pipeline may still emit a few
+// trailing events).
+func (j *Job) SetProgress(p ProgressInfo) {
+	j.mu.Lock()
+	if j.status == StatusRunning {
+		j.progress = &p
+	}
+	j.mu.Unlock()
+}
+
 // Info snapshots the job for the API.
 func (j *Job) Info() JobInfo {
 	j.mu.Lock()
@@ -88,16 +105,26 @@ func (j *Job) Info() JobInfo {
 		t := j.finished
 		info.FinishedAt = &t
 	}
+	if j.status == StatusRunning && j.progress != nil {
+		p := *j.progress
+		info.Progress = &p
+	}
 	if j.status == StatusDone {
-		info.Result = j.result
+		switch r := j.result.(type) {
+		case *AlignResult:
+			info.Result = r
+		case *SweepResult:
+			info.Sweep = r
+		}
 	}
 	return info
 }
 
 // Runner executes one job's alignment; the queue retains the returned
-// result on success. A Runner must honour ctx promptly — that is what
-// frees the worker when a client abandons its job.
-type Runner func(ctx context.Context, job *Job) (*AlignResult, error)
+// result (an *AlignResult or *SweepResult) on success. A Runner must
+// honour ctx promptly — that is what frees the worker when a client
+// abandons its job.
+type Runner func(ctx context.Context, job *Job) (any, error)
 
 // Queue is a bounded in-process job queue drained by a fixed worker
 // pool. Finished job records are retained (capped) so clients can poll
@@ -113,6 +140,7 @@ type Queue struct {
 	wg         sync.WaitGroup
 
 	seq atomic.Uint64
+	enq atomic.Uint64
 
 	mu         sync.Mutex
 	closed     bool
@@ -172,6 +200,7 @@ func (q *Queue) Submit(req *AlignRequest, cacheKey string) (*Job, error) {
 	job := &Job{
 		ID: q.newID(), Req: req, CacheKey: cacheKey,
 		ctx: ctx, cancel: cancel,
+		enqSeq: q.enq.Add(1),
 		status: StatusQueued, submitted: time.Now(),
 	}
 	q.mu.Lock()
@@ -198,8 +227,9 @@ func (q *Queue) Submit(req *AlignRequest, cacheKey string) (*Job, error) {
 }
 
 // Record registers an already-finished job — the cache-hit path, so that
-// polling works uniformly for cached submissions.
-func (q *Queue) Record(req *AlignRequest, cacheKey string, res *AlignResult) *Job {
+// polling works uniformly for cached submissions. res is an *AlignResult
+// or *SweepResult.
+func (q *Queue) Record(req *AlignRequest, cacheKey string, res any) *Job {
 	ctx, cancel := context.WithCancel(q.baseCtx)
 	cancel()
 	now := time.Now()
@@ -225,6 +255,36 @@ func (q *Queue) Get(id string) (*Job, bool) {
 	defer q.mu.Unlock()
 	job, ok := q.jobs[id]
 	return job, ok
+}
+
+// Position reports a queued job's 1-based place in line: one more than
+// the number of still-queued jobs submitted before it. Jobs cancelled
+// while waiting drop out of everyone's count immediately (the worker
+// that eventually pops them skips them in microseconds). Returns 0 for
+// jobs that are no longer queued. The answer is a snapshot — by the time
+// the client reads it the queue may have moved — which is exactly what a
+// "waiting behind N others" poll wants.
+func (q *Queue) Position(job *Job) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job.mu.Lock()
+	seq, queued := job.enqSeq, job.status == StatusQueued
+	job.mu.Unlock()
+	if !queued {
+		return 0
+	}
+	pos := 1
+	for _, other := range q.jobs {
+		if other == job {
+			continue
+		}
+		other.mu.Lock()
+		if other.status == StatusQueued && other.enqSeq < seq {
+			pos++
+		}
+		other.mu.Unlock()
+	}
+	return pos
 }
 
 // Len returns the number of retained job records.

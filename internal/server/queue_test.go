@@ -11,7 +11,7 @@ import (
 // request is marked fast (Dataset "fast"), and reports each start on
 // started.
 func blockingRunner(started chan<- *Job) Runner {
-	return func(ctx context.Context, job *Job) (*AlignResult, error) {
+	return func(ctx context.Context, job *Job) (any, error) {
 		started <- job
 		if job.Req.Dataset == "fast" {
 			return &AlignResult{}, nil
@@ -121,7 +121,7 @@ func TestQueueFull(t *testing.T) {
 }
 
 func TestSubmitAfterClose(t *testing.T) {
-	q := NewQueue(1, 1, func(ctx context.Context, job *Job) (*AlignResult, error) {
+	q := NewQueue(1, 1, func(ctx context.Context, job *Job) (any, error) {
 		return &AlignResult{}, nil
 	}, nil)
 	q.Close()
@@ -132,7 +132,7 @@ func TestSubmitAfterClose(t *testing.T) {
 
 func TestFailedJobReportsError(t *testing.T) {
 	boom := errors.New("boom")
-	q := NewQueue(1, 1, func(ctx context.Context, job *Job) (*AlignResult, error) {
+	q := NewQueue(1, 1, func(ctx context.Context, job *Job) (any, error) {
 		return nil, boom
 	}, nil)
 	defer q.Close()
@@ -146,7 +146,7 @@ func TestFailedJobReportsError(t *testing.T) {
 }
 
 func TestRecordEviction(t *testing.T) {
-	q := NewQueue(1, 1, func(ctx context.Context, job *Job) (*AlignResult, error) {
+	q := NewQueue(1, 1, func(ctx context.Context, job *Job) (any, error) {
 		return &AlignResult{}, nil
 	}, nil)
 	defer q.Close()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/htc-align/htc/internal/core"
+	"github.com/htc-align/htc/internal/datasets"
 	"github.com/htc-align/htc/internal/metrics"
 )
 
@@ -27,6 +28,10 @@ type Options struct {
 	QueueDepth int
 	// CacheSize bounds the result cache in entries (default 128).
 	CacheSize int
+	// PreparedCacheSize bounds the prepared-artifact cache in graph
+	// pairs (default 8). Each entry pins a pair's graphs, orbit counts
+	// and Laplacians, so it is kept far smaller than the result cache.
+	PreparedCacheSize int
 	// MaxNodes bounds per-graph size at admission (default 20000,
 	// negative = unlimited).
 	MaxNodes int
@@ -46,6 +51,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize <= 0 {
 		o.CacheSize = 128
 	}
+	if o.PreparedCacheSize <= 0 {
+		o.PreparedCacheSize = 8
+	}
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 20000
 	}
@@ -61,12 +69,13 @@ func (o Options) withDefaults() Options {
 // Server is the alignment service: an http.Handler wiring the job queue,
 // the result cache and the metrics together.
 type Server struct {
-	opts    Options
-	queue   *Queue
-	cache   *resultCache
-	metrics *Metrics
-	mux     *http.ServeMux
-	started time.Time
+	opts     Options
+	queue    *Queue
+	cache    *resultCache
+	prepared *preparedCache
+	metrics  *Metrics
+	mux      *http.ServeMux
+	started  time.Time
 }
 
 // New assembles a Server and starts its worker pool. Callers must Close
@@ -74,14 +83,16 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		cache:   newResultCache(opts.CacheSize),
-		metrics: &Metrics{},
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		opts:     opts,
+		cache:    newResultCache(opts.CacheSize),
+		prepared: newPreparedCache(opts.PreparedCacheSize),
+		metrics:  &Metrics{},
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
 	}
 	s.queue = NewQueue(opts.Workers, opts.QueueDepth, s.runJob, s.metrics)
 	s.mux.HandleFunc("POST /v1/align", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
@@ -127,9 +138,11 @@ func (s *Server) jobConfig(cfg core.Config) core.Config {
 	return cfg
 }
 
-// runJob is the queue's Runner: materialise the pair, run the pipeline
-// under the job's context, extract the matching, evaluate, cache.
-func (s *Server) runJob(ctx context.Context, job *Job) (*AlignResult, error) {
+// runJob is the queue's Runner: materialise the pair, fetch or build its
+// prepared artifacts, run the staged pipeline for one config (or a whole
+// sweep of them) under the job's context, extract matchings, evaluate,
+// cache.
+func (s *Server) runJob(ctx context.Context, job *Job) (any, error) {
 	pair, err := resolvePair(job.Req, s.opts.MaxNodes)
 	if err != nil {
 		return nil, err
@@ -137,11 +150,160 @@ func (s *Server) runJob(ctx context.Context, job *Job) (*AlignResult, error) {
 	if s.opts.MaxNodes > 0 && (pair.Source.N() > s.opts.MaxNodes || pair.Target.N() > s.opts.MaxNodes) {
 		return nil, fmt.Errorf("dataset exceeds server limit of %d nodes", s.opts.MaxNodes)
 	}
-	res, err := core.AlignContext(ctx, pair.Source, pair.Target, s.jobConfig(job.Req.Config))
+
+	if len(job.Req.Configs) > 0 {
+		return s.runSweep(ctx, job, pair)
+	}
+
+	cfg := s.jobConfig(job.Req.Config)
+	cfg.Progress = jobObserver(job, 0, 0)
+	prep, prepHit, err := s.preparedFor(ctx, pair, cfg)
 	if err != nil {
 		return nil, err
 	}
+	res, err := prep.AlignContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !prepHit {
+		// This job paid the eager artifact build inside Prepare; fold it
+		// into the run's stage decomposition like the one-shot API does.
+		res.Timings.OrbitCounting += prep.PrepareTimings().OrbitCounting
+		res.Timings.Laplacians += prep.PrepareTimings().Laplacians
+	}
+	out := buildResult(res, pair, job.Req.cutoffs())
+	out.PreparedCached = prepHit
+	s.cache.put(job.CacheKey, out)
+	if s.opts.Log != nil {
+		s.opts.Log.Printf("job %s done in %.0fms (%d pairs)", job.ID, out.TimingsMS.Total, len(out.Pairs))
+	}
+	return out, nil
+}
 
+// runSweep executes every config of a sweep job over one shared Prepared
+// pair: stages 1–2 run at most once per aggregation family for the whole
+// sweep (and not at all on an artifact-cache hit). Each entry's result
+// lands in the single-config result cache under the identity of the
+// equivalent /v1/align request, so sweeps and individual submissions
+// share cache entries both ways. Per-entry pipeline errors are recorded
+// in the entry; only cancellation aborts the job.
+func (s *Server) runSweep(ctx context.Context, job *Job, pair *datasets.Pair) (*SweepResult, error) {
+	configs := job.Req.Configs
+	s.metrics.SweepConfigs.Add(int64(len(configs)))
+	sweep := &SweepResult{Results: make([]SweepEntry, len(configs))}
+
+	// Resolve the per-config cache keys (precomputed by the submit
+	// handler; recomputed only if this job arrived without them) and
+	// probe the result cache for every entry up front — a sweep must
+	// never pay an artifact build on behalf of entries it won't run.
+	keys := make([]string, len(configs))
+	pending := make([]int, 0, len(configs))
+	for i, reqCfg := range configs {
+		entry := &sweep.Results[i]
+		entry.Config = canonicalConfig(reqCfg)
+		if i < len(job.Req.sweepKeys) {
+			keys[i] = job.Req.sweepKeys[i]
+		} else {
+			k, err := cacheKey(job.Req.singleRequest(reqCfg))
+			if err != nil {
+				entry.Error = err.Error()
+				continue
+			}
+			keys[i] = k
+		}
+		if cached := s.cache.get(keys[i]); cached != nil {
+			s.metrics.CacheHits.Add(1)
+			entry.Result = cached
+			continue
+		}
+		s.metrics.CacheMisses.Add(1)
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		// Every entry was served from the result cache (they must have
+		// been cached after the submit-time check): nothing to prepare.
+		sweep.PairHash = core.PairHash(pair.Source, pair.Target)
+		sweep.PreparedCached = true
+		return sweep, nil
+	}
+
+	// Prepare (or fetch) the shared artifacts, seeded by the first config
+	// that actually runs.
+	firstCfg := s.jobConfig(configs[pending[0]])
+	firstCfg.Progress = jobObserver(job, pending[0]+1, len(configs))
+	prep, prepHit, err := s.preparedFor(ctx, pair, firstCfg)
+	if err != nil {
+		return nil, err
+	}
+	sweep.PairHash = prep.Hash()
+	sweep.PreparedCached = prepHit
+	// The eager artifact build inside Prepare is paid once for the whole
+	// sweep; attribute it to the first entry that actually runs, so the
+	// per-entry stage decompositions sum to the job's true cost.
+	foldPrep := !prepHit
+	for _, i := range pending {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		entry := &sweep.Results[i]
+		cfg := s.jobConfig(configs[i])
+		cfg.Progress = jobObserver(job, i+1, len(configs))
+		res, err := prep.AlignContext(ctx, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			entry.Error = err.Error()
+			continue
+		}
+		if foldPrep {
+			res.Timings.OrbitCounting += prep.PrepareTimings().OrbitCounting
+			res.Timings.Laplacians += prep.PrepareTimings().Laplacians
+			foldPrep = false
+		}
+		out := buildResult(res, pair, job.Req.cutoffs())
+		out.PreparedCached = prepHit || i != pending[0]
+		s.cache.put(keys[i], out)
+		entry.Result = out
+	}
+	if s.opts.Log != nil {
+		s.opts.Log.Printf("job %s swept %d configs, %d run (pair %.12s…)", job.ID, len(sweep.Results), len(pending), sweep.PairHash)
+	}
+	return sweep, nil
+}
+
+// preparedFor returns the pair's prepared artifacts, reusing the
+// cross-job artifact cache when the same graphs (by content hash) were
+// prepared before, and preparing + caching them otherwise.
+func (s *Server) preparedFor(ctx context.Context, pair *datasets.Pair, cfg core.Config) (*core.Prepared, bool, error) {
+	key := core.PairHash(pair.Source, pair.Target)
+	if prep := s.prepared.get(key); prep != nil {
+		s.metrics.PreparedHits.Add(1)
+		return prep, true, nil
+	}
+	s.metrics.PreparedMisses.Add(1)
+	prep, err := core.PrepareContext(ctx, pair.Source, pair.Target, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	s.prepared.put(key, prep)
+	return prep, false, nil
+}
+
+// jobObserver adapts the pipeline's progress events into the job's live
+// progress block. cfgIdx/cfgTotal locate a sweep entry (0 for singles).
+func jobObserver(job *Job, cfgIdx, cfgTotal int) core.Observer {
+	return func(ev core.Progress) {
+		job.SetProgress(ProgressInfo{
+			Stage: ev.Stage, Done: ev.Done, Total: ev.Total,
+			Config: cfgIdx, Configs: cfgTotal,
+		})
+	}
+}
+
+// buildResult converts a pipeline result into the API payload: one-to-one
+// matching, per-orbit report, stage timings, optional evaluation.
+func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 	match := res.MatchOneToOne()
 	out := &AlignResult{
 		Pairs:         make([][2]int, 0, len(match)),
@@ -159,18 +321,15 @@ func (s *Server) runJob(ctx context.Context, job *Job) (*AlignResult, error) {
 		out.PerOrbit[i] = OrbitReport{Orbit: o.Orbit, Trusted: o.Trusted, Gamma: o.Gamma, Iters: o.Iters}
 	}
 	if truth := pair.Truth; truth.NumAnchors() > 0 {
-		qs := job.Req.cutoffs()
 		rep := metrics.Evaluate(res.M, truth, qs...)
 		out.Eval = &EvalReport{PrecisionAt: rep.PrecisionAt, MRR: rep.MRR, Anchors: rep.Anchors}
 	}
-	s.cache.put(job.CacheKey, out)
-	if s.opts.Log != nil {
-		s.opts.Log.Printf("job %s done in %.0fms (%d pairs)", job.ID, out.TimingsMS.Total, len(out.Pairs))
-	}
-	return out, nil
+	return out
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// decodeRequest parses and validates a submission body; a nil return
+// means the error response was already written.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) *AlignRequest {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -179,34 +338,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
-			return
+			return nil
 		}
 		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
-		return
+		return nil
 	}
 	if dec.More() {
 		writeError(w, http.StatusBadRequest, "trailing data after request body")
-		return
+		return nil
 	}
 	if err := req.validate(s.opts.MaxNodes); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil
 	}
-	key, err := cacheKey(&req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
+	return &req
+}
 
-	if cached := s.cache.get(key); cached != nil {
-		s.metrics.CacheHits.Add(1)
-		job := s.queue.Record(&req, key, cached)
-		writeJSON(w, http.StatusOK, job.Info())
-		return
-	}
-	s.metrics.CacheMisses.Add(1)
-
-	job, err := s.queue.Submit(&req, key)
+// enqueue submits a validated request and writes the job response.
+func (s *Server) enqueue(w http.ResponseWriter, req *AlignRequest, cacheKey, kind string) {
+	job, err := s.queue.Submit(req, cacheKey)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -220,9 +370,84 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.opts.Log != nil {
-		s.opts.Log.Printf("job %s queued (dataset=%q inline=%v)", job.ID, req.Dataset, req.Source != nil)
+		s.opts.Log.Printf("%s job %s queued (dataset=%q inline=%v)", kind, job.ID, req.Dataset, req.Source != nil)
 	}
-	writeJSON(w, http.StatusAccepted, job.Info())
+	info := job.Info()
+	info.QueuePosition = s.queue.Position(job)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req := s.decodeRequest(w, r)
+	if req == nil {
+		return
+	}
+	if err := req.validateSingle(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := cacheKey(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if cached := s.cache.get(key); cached != nil {
+		s.metrics.CacheHits.Add(1)
+		job := s.queue.Record(req, key, cached)
+		writeJSON(w, http.StatusOK, job.Info())
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+	s.enqueue(w, req, key, "align")
+}
+
+// handleSweep accepts a multi-config submission: the same pair coordinates
+// as /v1/align plus a configs list. When every entry is already in the
+// result cache the sweep is assembled and answered immediately (200);
+// otherwise it queues as one job that shares a single prepared pair across
+// all entries.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req := s.decodeRequest(w, r)
+	if req == nil {
+		return
+	}
+	if err := req.validateSweep(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	keys := make([]string, len(req.Configs))
+	for i, cfg := range req.Configs {
+		key, err := cacheKey(req.singleRequest(cfg))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		keys[i] = key
+	}
+	req.sweepKeys = keys
+
+	// Serve entirely from cache when possible — the sweep analogue of the
+	// single-submit cache-hit path.
+	sweep := &SweepResult{PreparedCached: true, Results: make([]SweepEntry, len(req.Configs))}
+	allCached := true
+	for i, cfg := range req.Configs {
+		cached := s.cache.get(keys[i])
+		if cached == nil {
+			allCached = false
+			break
+		}
+		sweep.Results[i] = SweepEntry{Config: canonicalConfig(cfg), Result: cached}
+	}
+	if allCached {
+		s.metrics.CacheHits.Add(int64(len(keys)))
+		s.metrics.SweepConfigs.Add(int64(len(keys)))
+		job := s.queue.Record(req, "", sweep)
+		writeJSON(w, http.StatusOK, job.Info())
+		return
+	}
+
+	s.enqueue(w, req, "", "sweep")
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -231,7 +456,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Info())
+	info := job.Info()
+	if info.Status == StatusQueued {
+		info.QueuePosition = s.queue.Position(job)
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -247,15 +476,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	depth, capacity := s.queue.Depth()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":          "ok",
-		"uptime_seconds":  time.Since(s.started).Seconds(),
-		"workers":         s.queue.Workers(),
-		"workers_per_job": perJobWorkers(runtime.GOMAXPROCS(0), s.opts.Workers),
-		"queue_depth":     depth,
-		"queue_capacity":  capacity,
-		"jobs_tracked":    s.queue.Len(),
-		"cache_entries":   s.cache.len(),
-		"datasets":        Datasets(),
+		"status":           "ok",
+		"uptime_seconds":   time.Since(s.started).Seconds(),
+		"workers":          s.queue.Workers(),
+		"workers_per_job":  perJobWorkers(runtime.GOMAXPROCS(0), s.opts.Workers),
+		"queue_depth":      depth,
+		"queue_capacity":   capacity,
+		"jobs_tracked":     s.queue.Len(),
+		"cache_entries":    s.cache.len(),
+		"prepared_entries": s.prepared.len(),
+		"datasets":         Datasets(),
 	})
 }
 
@@ -263,12 +493,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	depth, capacity := s.queue.Depth()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writePrometheus(w, map[string]float64{
-		"htc_queue_depth":    float64(depth),
-		"htc_queue_capacity": float64(capacity),
-		"htc_workers":        float64(s.queue.Workers()),
-		"htc_cache_entries":  float64(s.cache.len()),
-		"htc_uptime_seconds": time.Since(s.started).Seconds(),
-		"htc_jobs_tracked":   float64(s.queue.Len()),
+		"htc_queue_depth":      float64(depth),
+		"htc_queue_capacity":   float64(capacity),
+		"htc_workers":          float64(s.queue.Workers()),
+		"htc_cache_entries":    float64(s.cache.len()),
+		"htc_prepared_entries": float64(s.prepared.len()),
+		"htc_uptime_seconds":   time.Since(s.started).Seconds(),
+		"htc_jobs_tracked":     float64(s.queue.Len()),
 	})
 }
 

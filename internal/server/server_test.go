@@ -209,6 +209,9 @@ func TestBadInputs(t *testing.T) {
 		{"ragged attrs", `{"source":{"nodes":2,"attrs":[[1],[1,2]]},"target":{"nodes":2}}`, http.StatusBadRequest},
 		{"truth wrong length", `{"source":{"nodes":2},"target":{"nodes":2},"truth":[0]}`, http.StatusBadRequest},
 		{"truth out of range", `{"source":{"nodes":2},"target":{"nodes":2},"truth":[0,5]}`, http.StatusBadRequest},
+		{"truth below -1", `{"source":{"nodes":2},"target":{"nodes":2},"truth":[0,-5]}`, http.StatusBadRequest},
+		{"truth -1 ok", `{"source":{"nodes":2,"edges":[[0,1]]},"target":{"nodes":2,"edges":[[0,1]]},"truth":[-1,0],"config":{"variant":"HTC-L","epochs":1,"hidden":4,"embed":2}}`, http.StatusAccepted},
+		{"configs on align", `{"dataset":"synthetic","configs":[{"variant":"HTC-L"}]}`, http.StatusBadRequest},
 		{"truth with dataset", `{"dataset":"econ","truth":[0]}`, http.StatusBadRequest},
 		{"bad remove", `{"dataset":"econ","remove":1.5}`, http.StatusBadRequest},
 		{"bad hits_at", `{"dataset":"econ","hits_at":[0]}`, http.StatusBadRequest},
