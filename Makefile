@@ -26,14 +26,16 @@ bench-snapshot:
 	./scripts/bench_snapshot.sh BENCH_server.json
 
 # Refresh the end-to-end pipeline baseline (BenchmarkAlign per variant,
-# workers=1 vs workers=max, plus the staged-API prepare-reuse sweep).
+# workers=1 vs workers=max, the staged-API prepare-reuse sweep, and the
+# large-pair top-k memory benchmark).
 bench-pipeline:
-	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$'
 
 # The CI regression gate: re-measure and compare against the checked-in
-# pipeline baseline, failing on a >2x regression.
+# pipeline baseline, failing on a >2x time or >1.5x allocated-bytes
+# regression.
 bench-gate:
-	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$'
-	./scripts/bench_check.sh BENCH_pipeline.json BENCH_pipeline.ci.json 2.0
+	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$'
+	./scripts/bench_check.sh BENCH_pipeline.json BENCH_pipeline.ci.json 2.0 1.5
 
 ci: lint build test bench bench-gate

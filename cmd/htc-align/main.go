@@ -6,6 +6,7 @@
 //	htc-align -source s.graph -target t.graph [-k 13] [-epochs 60]
 //	          [-variant HTC|HTC-L|HTC-H|HTC-LT|HTC-DT[,more...]] [-seed 1]
 //	          [-truth truth.txt] [-top 1] [-progress]
+//	          [-sim auto|dense|topk] [-topk K]
 //
 // The optional truth file contains one "source target" pair per line and
 // enables precision/MRR evaluation. Graph files are produced by
@@ -15,6 +16,12 @@
 // every variant aligns over the shared artifacts (staged API), printing
 // one section per variant. -progress streams per-stage progress (with
 // per-epoch ticks) to stderr.
+//
+// -sim selects the similarity backend: dense materialises full ns×nt
+// score matrices, topk bounds every similarity stage to each node's -topk
+// best counterparts (O(n·k) memory — the backend for large graphs), auto
+// (the default) picks by pair size. -topk sets the per-node candidate
+// count (0 = automatic).
 package main
 
 import (
@@ -42,11 +49,23 @@ func main() {
 	truthPath := flag.String("truth", "", "optional ground-truth file for evaluation")
 	top := flag.Int("top", 1, "print the top-N candidates per source node")
 	progress := flag.Bool("progress", false, "stream pipeline progress to stderr")
+	sim := flag.String("sim", "auto", "similarity backend: auto, dense or topk")
+	topk := flag.Int("topk", 0, "top-k candidate count per node (0 = automatic; implies -sim topk when set)")
 	flag.Parse()
 
 	if *sourcePath == "" || *targetPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	backend, err := htc.ParseSimBackend(*sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *topk < 0 {
+		log.Fatalf("-topk must be ≥ 1 (got %d); 0 selects the automatic count", *topk)
+	}
+	if *topk > 0 && backend == htc.SimilarityAuto {
+		backend = htc.SimilarityTopK
 	}
 	gs := mustReadGraph(*sourcePath)
 	gt := mustReadGraph(*targetPath)
@@ -60,7 +79,7 @@ func main() {
 		variants = append(variants, v)
 	}
 
-	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed}
+	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk}
 	if *progress {
 		base.Progress = progressLogger()
 	}
@@ -85,7 +104,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("# aligned %d source nodes to %d target nodes (%s)\n", gs.N(), gt.N(), v)
+		simNote := "sim=" + res.SimBackend
+		if res.CandidateK > 0 {
+			simNote = fmt.Sprintf("%s k=%d", simNote, res.CandidateK)
+		}
+		fmt.Printf("# aligned %d source nodes to %d target nodes (%s, %s)\n", gs.N(), gt.N(), v, simNote)
 		fmt.Printf("# timings: %v\n", res.Timings)
 
 		if *top <= 1 {
@@ -93,17 +116,23 @@ func main() {
 				fmt.Printf("%d %d\n", s, t)
 			}
 		} else {
+			// The Sim scan visits candidates best-first, so the sparse
+			// backend prints its top-N without ever touching a dense row.
 			for s := 0; s < gs.N(); s++ {
 				fmt.Printf("%d", s)
-				for _, t := range topQ(res.M.Row(s), *top) {
-					fmt.Printf(" %d", t)
-				}
+				printed := 0
+				res.Sim.Scan(s, func(t int, _ float64) {
+					if printed < *top {
+						fmt.Printf(" %d", t)
+						printed++
+					}
+				})
 				fmt.Println()
 			}
 		}
 
 		if truth != nil {
-			rep := htc.Evaluate(res.M, truth, 1, 10)
+			rep := htc.EvaluateSim(res.Sim, truth, 1, 10)
 			fmt.Printf("# evaluation: %v\n", rep)
 		}
 	}
@@ -167,24 +196,4 @@ func mustReadTruth(path string, n int) htc.Truth {
 		log.Fatal(err)
 	}
 	return truth
-}
-
-// topQ returns the indices of the q largest entries of row, descending.
-func topQ(row []float64, q int) []int {
-	if q > len(row) {
-		q = len(row)
-	}
-	idx := make([]int, 0, q)
-	used := make(map[int]bool, q)
-	for len(idx) < q {
-		best, bestV := -1, 0.0
-		for j, v := range row {
-			if !used[j] && (best < 0 || v > bestV) {
-				best, bestV = j, v
-			}
-		}
-		used[best] = true
-		idx = append(idx, best)
-	}
-	return idx
 }

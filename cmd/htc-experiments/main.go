@@ -5,11 +5,15 @@
 //
 //	htc-experiments -run table1|table2|table3|fig6|fig7|fig8|fig9|fig10|fig11|all
 //	                [-scale 1.0] [-seed 1] [-epochs 0] [-progress]
+//	                [-sim auto|dense|topk] [-topk K]
 //
 // Scale shrinks the datasets proportionally (useful for quick runs);
 // epochs overrides training length (0 = defaults); -progress streams
-// per-stage pipeline progress to stderr. Output is plain text, one
-// section per artefact; EXPERIMENTS.md records a reference run.
+// per-stage pipeline progress to stderr. -sim/-topk select the HTC
+// similarity backend (baselines are unaffected), so the top-k
+// approximation can be measured against the paper numbers. Output is
+// plain text, one section per artefact; EXPERIMENTS.md records a
+// reference run.
 //
 // The variant and hyperparameter sweeps (table3, fig10, fig11) run on
 // the staged Prepare/Align API: each graph pair's orbit counts and
@@ -36,9 +40,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	epochs := flag.Int("epochs", 0, "training epochs override (0 = defaults)")
 	progress := flag.Bool("progress", false, "stream pipeline stage progress to stderr")
+	sim := flag.String("sim", "auto", "HTC similarity backend: auto, dense or topk")
+	topk := flag.Int("topk", 0, "top-k candidate count per node (0 = automatic; implies -sim topk when set)")
 	flag.Parse()
 
-	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs}
+	backend, err := htc.ParseSimBackend(*sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *topk < 0 {
+		log.Fatalf("-topk must be ≥ 1 (got %d); 0 selects the automatic count", *topk)
+	}
+	if *topk > 0 && backend == htc.SimilarityAuto {
+		backend = htc.SimilarityTopK
+	}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk}
 	if *progress {
 		o.Progress = stageLogger()
 	}

@@ -28,7 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := htc.Evaluate(res.M, pair.Truth, 1, 10)
+	rep := htc.EvaluateSim(res.Sim, pair.Truth, 1, 10)
 	fmt.Printf("HTC: p@1=%.4f p@10=%.4f MRR=%.4f\n\n",
 		rep.PrecisionAt[1], rep.PrecisionAt[10], rep.MRR)
 

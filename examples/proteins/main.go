@@ -38,7 +38,7 @@ func main() {
 	}
 
 	fmt.Printf("%-22s %8s %8s %8s\n", "method", "p@1", "p@10", "MRR")
-	rep := htc.Evaluate(res.M, truth, 1, 10)
+	rep := htc.EvaluateSim(res.Sim, truth, 1, 10)
 	fmt.Printf("%-22s %8.4f %8.4f %8.4f\n", "HTC (argmax)", rep.PrecisionAt[1], rep.PrecisionAt[10], rep.MRR)
 
 	// One-to-one orthology: Hungarian assignment on the same scores.

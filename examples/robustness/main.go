@@ -44,7 +44,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf(" %10.4f", htc.Evaluate(res.M, truth, 1).PrecisionAt[1])
+			fmt.Printf(" %10.4f", htc.EvaluateSim(res.Sim, truth, 1).PrecisionAt[1])
 		}
 		fmt.Println()
 	}

@@ -61,6 +61,40 @@ type Variant = core.Variant
 // StageTimings decomposes a run's wall-clock cost (Fig. 8).
 type StageTimings = core.StageTimings
 
+// Sim is the similarity-representation abstraction: the final alignment
+// scores of a Result, either a full dense matrix or a memory-bounded
+// per-node candidate list (see Config.Similarity).
+type Sim = align.Sim
+
+// DenseSim adapts a dense score matrix to the Sim interface.
+type DenseSim = align.DenseSim
+
+// TopKSim is the sparse Sim: per source node, its top candidate targets
+// with scores, O(n·k) memory instead of O(n²).
+type TopKSim = align.TopKSim
+
+// Candidates is the underlying per-node candidate structure of a TopKSim.
+type Candidates = align.Candidates
+
+// SimBackend selects the similarity representation of a run.
+type SimBackend = core.SimBackend
+
+// The similarity backends of Config.Similarity.
+const (
+	// SimilarityAuto (the default) uses dense matrices on small pairs
+	// and the top-k candidate backend beyond ~4096×4096 score cells.
+	SimilarityAuto = core.SimAuto
+	// SimilarityDense always materialises full ns×nt score matrices.
+	SimilarityDense = core.SimDense
+	// SimilarityTopK bounds every similarity stage to Config.CandidateK
+	// candidates per node; bit-identical to dense when k ≥ max(ns, nt).
+	SimilarityTopK = core.SimTopK
+)
+
+// ParseSimBackend resolves a backend name ("auto", "dense", "topk",
+// case-insensitive) into a SimBackend.
+func ParseSimBackend(s string) (SimBackend, error) { return core.ParseSimBackend(s) }
+
 // OrbitOutcome reports one orbit's trusted pairs and importance weight.
 type OrbitOutcome = core.OrbitOutcome
 
@@ -204,6 +238,12 @@ func PairHash(gs, gt *Graph) string { return core.PairHash(gs, gt) }
 // precision cutoffs.
 func Evaluate(m *Matrix, truth Truth, qs ...int) Report { return metrics.Evaluate(m, truth, qs...) }
 
+// EvaluateSim scores any alignment representation — dense or top-k —
+// against ground truth. On a top-k representation an anchor missing from
+// its row's candidate list counts as a miss, so pruning never inflates
+// the numbers.
+func EvaluateSim(s Sim, truth Truth, qs ...int) Report { return metrics.EvaluateSim(s, truth, qs...) }
+
 // CountEdgeOrbits returns, for every edge of g (in g.Edges() order), how
 // many times it occurs on each of the 13 edge orbits.
 func CountEdgeOrbits(g *Graph) [][NumOrbits]int64 { return orbit.Count(g).PerEdge }
@@ -241,7 +281,39 @@ func (h HTC) Name() string {
 }
 
 // Align implements Aligner.
+//
+// Under the top-k backend the returned matrix is a materialisation with
+// non-candidate pairs floored just below every candidate score — fine
+// for matching, but evaluating it with Evaluate would grant pruned
+// anchors a finite rank. Evaluation of top-k runs should go through
+// AlignSim + EvaluateSim, which scores pruned anchors as misses (the
+// experiment drivers do).
 func (h HTC) Align(gs, gt *Graph, seeds []Anchor) (*Matrix, error) {
+	res, err := h.run(gs, gt, seeds)
+	if err != nil {
+		return nil, err
+	}
+	if res.M != nil {
+		return res.M, nil
+	}
+	// A top-k run never builds the dense matrix; the Aligner interface
+	// demands one, so materialise it (baseline comparisons run at sizes
+	// where that is affordable).
+	return res.Sim.Dense(), nil
+}
+
+// AlignSim is Align returning the backend's native representation
+// instead of forcing a dense matrix, so consumers can evaluate top-k
+// runs without the materialisation floor distorting ranks.
+func (h HTC) AlignSim(gs, gt *Graph, seeds []Anchor) (Sim, error) {
+	res, err := h.run(gs, gt, seeds)
+	if err != nil {
+		return nil, err
+	}
+	return res.Sim, nil
+}
+
+func (h HTC) run(gs, gt *Graph, seeds []Anchor) (*Result, error) {
 	cfg := h.Config
 	if h.UseSeeds {
 		cfg.Seeds = make([][2]int, 0, len(seeds))
@@ -249,11 +321,7 @@ func (h HTC) Align(gs, gt *Graph, seeds []Anchor) (*Matrix, error) {
 			cfg.Seeds = append(cfg.Seeds, [2]int{s.S, s.T})
 		}
 	}
-	res, err := core.Align(gs, gt, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return res.M, nil
+	return core.Align(gs, gt, cfg)
 }
 
 // The six baseline aligners of the paper's evaluation, re-exported for
@@ -287,6 +355,10 @@ func SampleSeeds(truth Truth, frac float64, seed int64) []Anchor {
 // GreedyMatch extracts an injective assignment from an alignment matrix
 // by repeatedly taking the best unmatched pair (1/2-approximation).
 func GreedyMatch(m *Matrix) []int { return align.GreedyMatch(m) }
+
+// GreedyMatchSim is GreedyMatch over any alignment representation; on a
+// top-k representation it sorts only the O(n·k) candidate pairs.
+func GreedyMatchSim(s Sim) []int { return align.GreedyMatchSim(s) }
 
 // HungarianMatch computes the exact maximum-weight one-to-one assignment
 // of an alignment matrix (O(n³)).

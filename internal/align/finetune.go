@@ -29,13 +29,20 @@ type FineTuneConfig struct {
 	// When the pipeline fine-tunes many orbits concurrently it hands each
 	// orbit a slice of the budget; results are identical for every count.
 	Workers int
+	// TopK selects the similarity backend: 0 runs the dense ns×nt path;
+	// k ≥ 1 runs the blocked top-k candidate path, holding O(n·k) scores
+	// instead of O(n²). With k ≥ nt (and k ≥ ns for the backward
+	// direction) the two backends are bit-identical; smaller k trades
+	// exactness for bounded memory.
+	TopK int
 	// KeepEmbeddings snapshots the best iteration's Hs/Ht into the
 	// result. Off by default: the copies are two n×d matrices per
 	// improving iteration, and most callers only want M.
 	KeepEmbeddings bool
 	// Ctx, when non-nil, is checked before each refinement iteration;
 	// once cancelled the loop stops early and returns the best result
-	// found so far (possibly with a nil M when cancelled immediately).
+	// found so far (possibly with a nil similarity when cancelled
+	// immediately).
 	Ctx context.Context
 	// OnIter, when non-nil, observes each refinement iteration as it
 	// starts (1-based). The pipeline's progress reporting hangs off it;
@@ -53,13 +60,21 @@ func (c FineTuneConfig) withDefaults() FineTuneConfig {
 	if c.MaxIters <= 0 {
 		c.MaxIters = 30
 	}
+	if c.TopK < 0 {
+		c.TopK = 0
+	}
 	return c
 }
 
 // FineTuneResult reports the outcome of one orbit's refinement.
 type FineTuneResult struct {
-	// M is the alignment matrix of the best iteration (the one that
-	// identified the most trusted pairs).
+	// Sim is the alignment representation of the best iteration (the one
+	// that identified the most trusted pairs): a DenseSim on the dense
+	// backend, a *TopKSim on the top-k backend. Nil only when the loop
+	// was cancelled before completing a single iteration.
+	Sim Sim
+	// M is the dense alignment matrix of the best iteration; nil on the
+	// top-k backend, whose whole point is never materialising it.
 	M *dense.Matrix
 	// Trusted is that maximal trusted-pair count Tmax.
 	Trusted int
@@ -71,11 +86,12 @@ type FineTuneResult struct {
 	Hs, Ht *dense.Matrix
 }
 
-// FineTune runs Algorithm 2 for a single orbit: compute LISI, identify
-// trusted pairs, reinforce their aggregation coefficients (Eq. 13), re-embed
-// through the reinforced Laplacians (Eq. 14), and repeat while the number
-// of trusted pairs keeps growing. The encoder weights are never modified —
-// only the aggregation coefficients are tuned.
+// FineTune runs Algorithm 2 for a single orbit: compute the similarity
+// under the configured backend, identify trusted pairs, reinforce their
+// aggregation coefficients (Eq. 13), re-embed through the reinforced
+// Laplacians (Eq. 14), and repeat while the number of trusted pairs keeps
+// growing. The encoder weights are never modified — only the aggregation
+// coefficients are tuned.
 func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg FineTuneConfig) *FineTuneResult {
 	cfg = cfg.withDefaults()
 	w := cfg.Workers
@@ -93,11 +109,11 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 	// pattern (DiagScaleInto rescales values in place, and the clones are
 	// only made once reinforcement actually changes rs/rt — single-pass
 	// callers embed straight through the originals), the embeddings live
-	// in two forward caches, and the ns×nt similarity matrices sit in the
-	// simScratch.
+	// in two forward caches, and the similarity working set sits in the
+	// backend's scratch (simScratch for dense, two topkScratches for the
+	// blocked candidate path).
 	var scaledS, scaledT *sparse.CSR
 	var cacheS, cacheT nn.Cache
-	sim := &simScratch{}
 	reinforced := len(cfg.KnownPairs) > 0
 	embed := func() (hs, ht *dense.Matrix) {
 		if reinforced {
@@ -116,7 +132,41 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 	}
 	hs, ht := embed()
 
+	// score computes one iteration's alignment representation and its
+	// trusted pairs; keep snapshots the iteration as the new best. The
+	// dense backend scores into reused scratch, so keep must copy; the
+	// top-k backend's candidates are freshly allocated each iteration
+	// (only the block scratch is reused), so keep can adopt them.
 	res := &FineTuneResult{Trusted: -1}
+	var score func(hs, ht *dense.Matrix) (Sim, [][2]int)
+	var keep func(Sim)
+	if cfg.TopK > 0 {
+		var fs, bs topkScratch
+		var dt, ds []float64
+		score = func(hs, ht *dense.Matrix) (Sim, [][2]int) {
+			fwd := fs.topK(hs, ht, cfg.TopK, w)
+			bwd := bs.topK(ht, hs, cfg.TopK, w)
+			dt = topMeansInto(dt, fwd, cfg.M)
+			ds = topMeansInto(ds, bwd, cfg.M)
+			pairs := trustedPairsCands(fwd, bwd, dt, ds)
+			lisiTransform(fwd, dt, ds)
+			return &TopKSim{C: fwd, Cols: ht.Rows}, pairs
+		}
+		keep = func(s Sim) { res.Sim = s }
+	} else {
+		sim := &simScratch{}
+		score = func(hs, ht *dense.Matrix) (Sim, [][2]int) {
+			m := sim.lisiInto(sim.corrInto(hs, ht, w), cfg.M, w)
+			return DenseSim{M: m}, TrustedPairs(m)
+		}
+		keep = func(s Sim) {
+			m := s.(DenseSim).M
+			res.M = dense.Ensure(res.M, m.Rows, m.Cols)
+			res.M.CopyFrom(m)
+			res.Sim = DenseSim{M: res.M}
+		}
+	}
+
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			break
@@ -125,15 +175,11 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 		if cfg.OnIter != nil {
 			cfg.OnIter(iter + 1)
 		}
-		m := sim.lisiInto(sim.corrInto(hs, ht, w), cfg.M, w)
-		pairs := TrustedPairs(m)
+		s, pairs := score(hs, ht)
 		if len(pairs) <= res.Trusted {
 			break
 		}
-		// Snapshot the new best iteration: the loop keeps overwriting its
-		// buffers, so the result owns copies.
-		res.M = dense.Ensure(res.M, m.Rows, m.Cols)
-		res.M.CopyFrom(m)
+		keep(s)
 		res.Trusted = len(pairs)
 		if cfg.KeepEmbeddings {
 			res.Hs = dense.Ensure(res.Hs, hs.Rows, hs.Cols)
@@ -166,23 +212,12 @@ func ones(n int) []float64 {
 // importance weights of Eq. 15: γk = Tk / Σ Ti, where Tk is the trusted-
 // pair count of orbit k. It returns the final alignment matrix and the
 // weights. When no orbit found any trusted pair the weights fall back to
-// uniform.
+// uniform. IntegrateSims is the backend-generic form.
 func Integrate(ms []*dense.Matrix, trusted []int) (*dense.Matrix, []float64) {
 	if len(ms) == 0 || len(ms) != len(trusted) {
 		panic("align: Integrate needs one trusted count per matrix")
 	}
-	var total int
-	for _, t := range trusted {
-		total += t
-	}
-	gammas := make([]float64, len(ms))
-	for k := range gammas {
-		if total > 0 {
-			gammas[k] = float64(trusted[k]) / float64(total)
-		} else {
-			gammas[k] = 1 / float64(len(ms))
-		}
-	}
+	gammas := integrationWeights(trusted)
 	out := dense.New(ms[0].Rows, ms[0].Cols)
 	for k, m := range ms {
 		out.AddScaled(m, gammas[k])

@@ -12,40 +12,102 @@ import (
 // match[s] = t (or −1 for unmatched source nodes). The result is the
 // standard greedy 1/2-approximation of the maximum-weight matching and is
 // the cheap way to turn HTC's score matrix into a hard assignment.
-func GreedyMatch(m *dense.Matrix) []int {
-	type entry struct {
-		s, t  int
-		score float64
+// Ties resolve deterministically: higher score first, then lower source,
+// then lower target.
+func GreedyMatch(m *dense.Matrix) []int { return greedyDense(m) }
+
+// GreedyMatchSim is the backend-generic greedy matcher: the dense path
+// sorts packed cell indices (8 bytes per pair instead of a 24-byte entry
+// struct), the top-k path sorts only the O(n·k) candidate pairs. Both use
+// the same (score desc, source asc, target asc) order, so with k ≥ nt the
+// two backends produce identical matchings.
+func GreedyMatchSim(s Sim) []int {
+	if d, ok := s.(DenseSim); ok {
+		return greedyDense(d.M)
 	}
-	entries := make([]entry, 0, m.Rows*m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			entries = append(entries, entry{i, j, v})
-		}
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].score > entries[j].score })
-	match := make([]int, m.Rows)
+	return greedyCandidates(s)
+}
+
+// greedyAssign is the shared greedy-assignment core: walk n pairs in
+// descending-preference order (pair(i) yields the i-th best) and take
+// every pair whose source and target are both still free. Exactly one
+// copy of the skip/assign/termination logic exists, so the two backends'
+// matchings cannot drift apart.
+func greedyAssign(rows, cols, n int, pair func(i int) (s, t int)) []int {
+	match := make([]int, rows)
 	for i := range match {
 		match[i] = -1
 	}
-	usedT := make([]bool, m.Cols)
-	remaining := m.Rows
-	if m.Cols < remaining {
-		remaining = m.Cols
+	usedT := make([]bool, cols)
+	remaining := rows
+	if cols < remaining {
+		remaining = cols
 	}
-	for _, e := range entries {
-		if remaining == 0 {
-			break
-		}
-		if match[e.s] >= 0 || usedT[e.t] {
+	for i := 0; i < n && remaining > 0; i++ {
+		s, t := pair(i)
+		if match[s] >= 0 || usedT[t] {
 			continue
 		}
-		match[e.s] = e.t
-		usedT[e.t] = true
+		match[s] = t
+		usedT[t] = true
 		remaining--
 	}
 	return match
+}
+
+// greedyDense is the allocation-lean dense greedy matcher: one packed
+// int64 key (i·cols + j) per cell, sorted by score with ties broken by
+// the key itself (which is exactly (i asc, j asc)).
+func greedyDense(m *dense.Matrix) []int {
+	if m.Rows == 0 || m.Cols == 0 {
+		return greedyAssign(m.Rows, m.Cols, 0, nil)
+	}
+	keys := make([]int64, m.Rows*m.Cols)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	data := m.Data
+	sort.Slice(keys, func(a, b int) bool {
+		if data[keys[a]] != data[keys[b]] {
+			return data[keys[a]] > data[keys[b]]
+		}
+		return keys[a] < keys[b]
+	})
+	cols := int64(m.Cols)
+	return greedyAssign(m.Rows, m.Cols, len(keys), func(i int) (int, int) {
+		return int(keys[i] / cols), int(keys[i] % cols)
+	})
+}
+
+// greedyCandidates runs the greedy matcher over a sparse representation:
+// only represented pairs can match, so the sort handles O(n·k) entries
+// instead of O(n²). Source rows whose candidates are all taken stay
+// unmatched (−1), the honest answer under a candidate restriction.
+func greedyCandidates(s Sim) []int {
+	rows, cols := s.Dims()
+	type entry struct {
+		s, t  int32
+		score float64
+	}
+	var entries []entry
+	for i := 0; i < rows; i++ {
+		s.Scan(i, func(j int, score float64) {
+			entries = append(entries, entry{int32(i), int32(j), score})
+		})
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		ea, eb := entries[a], entries[b]
+		if ea.score != eb.score {
+			return ea.score > eb.score
+		}
+		if ea.s != eb.s {
+			return ea.s < eb.s
+		}
+		return ea.t < eb.t
+	})
+	return greedyAssign(rows, cols, len(entries), func(i int) (int, int) {
+		return int(entries[i].s), int(entries[i].t)
+	})
 }
 
 // HungarianMatch computes a maximum-weight one-to-one assignment from an
@@ -158,6 +220,22 @@ func MatchScore(m *dense.Matrix, match []int) float64 {
 	for i, j := range match {
 		if j >= 0 {
 			s += m.At(i, j)
+		}
+	}
+	return s
+}
+
+// MatchScoreSim is MatchScore over any similarity representation. Matched
+// pairs outside a sparse representation contribute nothing (a candidate
+// matcher never selects them, but a caller may score a foreign matching).
+func MatchScoreSim(sim Sim, match []int) float64 {
+	var s float64
+	for i, j := range match {
+		if j < 0 {
+			continue
+		}
+		if v, ok := sim.At(i, j); ok {
+			s += v
 		}
 	}
 	return s

@@ -7,6 +7,7 @@ package align
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/par"
@@ -61,23 +62,24 @@ func (s *simScratch) corrInto(hs, ht *dense.Matrix, workers int) *dense.Matrix {
 
 // topMean returns the mean of the m largest values in xs. When xs has
 // fewer than m entries the mean of all of them is returned; m ≤ 0 yields
-// 0.
+// 0. The selected values are summed in descending order: float addition
+// is order-sensitive, and the top-k backend's candidate scores arrive
+// pre-sorted, so a shared summation order is what makes the two backends
+// bit-identical (equal values commute, so ties cannot perturb the sum).
 func topMean(xs []float64, m int, buf []float64) float64 {
 	if m <= 0 || len(xs) == 0 {
 		return 0
 	}
-	if m >= len(xs) {
-		var s float64
-		for _, v := range xs {
-			s += v
-		}
-		return s / float64(len(xs))
-	}
 	buf = append(buf[:0], xs...)
-	quickSelectDesc(buf, m)
+	if m >= len(xs) {
+		m = len(xs)
+	} else {
+		quickSelectDesc(buf, m)
+	}
+	sort.Float64s(buf[:m])
 	var s float64
-	for _, v := range buf[:m] {
-		s += v
+	for i := m - 1; i >= 0; i-- {
+		s += buf[i]
 	}
 	return s / float64(m)
 }

@@ -2,15 +2,17 @@ package align
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/par"
 )
 
 // Candidates holds, for every query node, its k most similar nodes on the
-// other side with their Pearson similarities, in descending score order.
-// It is the memory-bounded alternative to the full ns×nt similarity
-// matrix: O(n·k) instead of O(n²), computed in row blocks.
+// other side with their similarity scores, in descending score order
+// (ties by lower index). It is the memory-bounded alternative to the full
+// ns×nt similarity matrix: O(n·k) instead of O(n²), computed in row
+// blocks. Both per-row slices of one Candidates share two backing arrays,
+// so a whole structure costs two allocations plus headers.
 type Candidates struct {
 	K int
 	// Idx[i] lists the candidate ids of query i, best first.
@@ -19,76 +21,235 @@ type Candidates struct {
 	Score [][]float64
 }
 
+// topkScratch is the reusable working set of blocked top-k similarity:
+// the centered/normalised embedding copies and one similarity block per
+// worker. A fine-tuning loop keeps one scratch per direction, so
+// iterations after the first allocate only their output Candidates.
+type topkScratch struct {
+	a, b   *dense.Matrix   // centered + row-normalised embedding copies
+	blocks []*dense.Matrix // per-worker sim-block buffers
+	heaps  []candHeap      // per-worker top-k selection heaps
+}
+
 // TopKCandidates computes the top-k Pearson-similar target rows for every
 // source row without materialising more than a block of the similarity
-// matrix at a time.
+// matrix at a time. The one-shot convenience form of topkScratch.topK.
 func TopKCandidates(hs, ht *dense.Matrix, k int) *Candidates {
+	s := &topkScratch{}
+	return s.topK(hs, ht, k, 0)
+}
+
+// topkBlockFloats bounds one similarity block: 2¹⁹ float64s = 4 MiB, so a
+// block stays cache-friendly and the per-worker scratch of a wide fan-out
+// stays bounded even on very wide target sides.
+const topkBlockFloats = 1 << 19
+
+// topkBlockRows sizes a similarity block for nt target columns.
+func topkBlockRows(nt int) int {
+	if nt < 1 {
+		return 256
+	}
+	rows := topkBlockFloats / nt
+	if rows < 16 {
+		return 16
+	}
+	if rows > 256 {
+		return 256
+	}
+	return rows
+}
+
+// topK fills a fresh Candidates with every source row's top-k most
+// Pearson-similar target rows. The row blocks fan out across at most
+// `workers` goroutines (≤ 0 = GOMAXPROCS); every block is written by
+// exactly one worker and rows are scored by sequential dot products, so
+// the result is bit-identical to the dense Corr for every worker count.
+func (s *topkScratch) topK(hs, ht *dense.Matrix, k, workers int) *Candidates {
 	if k < 1 {
 		panic(fmt.Sprintf("align: TopKCandidates k = %d < 1", k))
 	}
 	if k > ht.Rows {
 		k = ht.Rows
 	}
-	a, b := hs.Clone(), ht.Clone()
-	a.CenterRows()
-	a.NormalizeRows()
-	b.CenterRows()
-	b.NormalizeRows()
+	s.a = dense.Ensure(s.a, hs.Rows, hs.Cols)
+	s.a.CopyFrom(hs)
+	s.b = dense.Ensure(s.b, ht.Rows, ht.Cols)
+	s.b.CopyFrom(ht)
+	s.a.CenterRows()
+	s.a.NormalizeRows()
+	s.b.CenterRows()
+	s.b.NormalizeRows()
 
+	ns, nt := hs.Rows, ht.Rows
 	out := &Candidates{
 		K:     k,
-		Idx:   make([][]int32, hs.Rows),
-		Score: make([][]float64, hs.Rows),
+		Idx:   make([][]int32, ns),
+		Score: make([][]float64, ns),
 	}
-	const blockRows = 256
-	for start := 0; start < a.Rows; start += blockRows {
+	// All rows share two backing arrays: two allocations for the whole
+	// structure instead of two per row.
+	idxBack := make([]int32, ns*k)
+	scoreBack := make([]float64, ns*k)
+	for i := 0; i < ns; i++ {
+		out.Idx[i] = idxBack[i*k : i*k+k : i*k+k]
+		out.Score[i] = scoreBack[i*k : i*k+k : i*k+k]
+	}
+	if ns == 0 || k == 0 {
+		return out
+	}
+
+	blockRows := topkBlockRows(nt)
+	nBlocks := (ns + blockRows - 1) / blockRows
+	w := par.Resolve(workers)
+	if w > nBlocks {
+		w = nBlocks
+	}
+	if len(s.blocks) < w {
+		s.blocks = append(s.blocks, make([]*dense.Matrix, w-len(s.blocks))...)
+	}
+	if len(s.heaps) < w {
+		s.heaps = append(s.heaps, make([]candHeap, w-len(s.heaps))...)
+	}
+	a, b := s.a, s.b
+	par.Sharded(w, nBlocks, func(worker, blk int) {
+		start := blk * blockRows
 		end := start + blockRows
-		if end > a.Rows {
-			end = a.Rows
+		if end > ns {
+			end = ns
 		}
-		block := &dense.Matrix{Rows: end - start, Cols: a.Cols, Data: a.Data[start*a.Cols : end*a.Cols]}
-		sim := dense.MulBT(block, b)
-		for r := 0; r < sim.Rows; r++ {
-			idx, score := selectTopK(sim.Row(r), k)
-			out.Idx[start+r] = idx
-			out.Score[start+r] = score
+		rows := end - start
+		s.blocks[worker] = dense.Ensure(s.blocks[worker], blockRows, nt)
+		sim := &dense.Matrix{Rows: rows, Cols: nt, Data: s.blocks[worker].Data[:rows*nt]}
+		block := &dense.Matrix{Rows: rows, Cols: a.Cols, Data: a.Data[start*a.Cols : end*a.Cols]}
+		// The fan-out lives at the block level; the kernel itself runs
+		// serially inside its worker.
+		dense.MulBTInto(sim, block, b, 1)
+		h := &s.heaps[worker]
+		for r := 0; r < rows; r++ {
+			h.selectInto(out.Idx[start+r], out.Score[start+r], sim.Row(r))
 		}
-	}
+	})
 	return out
 }
 
-// selectTopK returns the indices and values of the k largest entries of
-// row, descending. Ties resolve to lower indices for determinism.
-func selectTopK(row []float64, k int) ([]int32, []float64) {
-	idx := make([]int32, len(row))
-	for i := range idx {
-		idx[i] = int32(i)
+// candHeap selects the k largest entries of a row deterministically: a
+// fixed-capacity min-heap ordered by "worse first", where worse means a
+// smaller score or, on equal scores, a larger index. Popping everything
+// back-to-front therefore yields descending scores with ties by lower
+// index — exactly the order a stable descending sort would produce.
+type candHeap struct {
+	idx   []int32
+	score []float64
+}
+
+// worse reports whether heap slot a holds a strictly worse candidate
+// than slot b.
+func (h *candHeap) worse(a, b int) bool {
+	if h.score[a] != h.score[b] {
+		return h.score[a] < h.score[b]
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
-	idx = idx[:k]
-	outIdx := append([]int32(nil), idx...)
-	score := make([]float64, k)
-	for i, j := range outIdx {
-		score[i] = row[j]
+	return h.idx[a] > h.idx[b]
+}
+
+func (h *candHeap) swap(a, b int) {
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+	h.score[a], h.score[b] = h.score[b], h.score[a]
+}
+
+func (h *candHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.worse(i, p) {
+			return
+		}
+		h.swap(i, p)
+		i = p
 	}
-	return outIdx, score
+}
+
+func (h *candHeap) siftDown(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.worse(r, l) {
+			m = r
+		}
+		if !h.worse(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// selectInto writes row's k largest entries (k = len(outIdx), descending,
+// ties by lower index) into the output slices.
+func (h *candHeap) selectInto(outIdx []int32, outScore []float64, row []float64) {
+	k := len(outIdx)
+	if k == 0 {
+		return
+	}
+	h.idx = h.idx[:0]
+	h.score = h.score[:0]
+	for j, v := range row {
+		if len(h.idx) < k {
+			h.idx = append(h.idx, int32(j))
+			h.score = append(h.score, v)
+			h.siftUp(len(h.idx) - 1)
+			continue
+		}
+		// Strictly better than the current worst? (On a score tie the
+		// lower index — already in the heap — wins.)
+		if v > h.score[0] || (v == h.score[0] && int32(j) < h.idx[0]) {
+			h.idx[0], h.score[0] = int32(j), v
+			h.siftDown(0, k)
+		}
+	}
+	// Pop worst-first into the tail of the output.
+	n := len(h.idx)
+	for p := n - 1; p >= 0; p-- {
+		outIdx[p], outScore[p] = h.idx[0], h.score[0]
+		h.swap(0, n-1)
+		n--
+		h.siftDown(0, n)
+	}
 }
 
 // SparseLISI evaluates the LISI score only on candidate pairs: forward
 // holds source→target candidates, backward target→source. The hubness
 // degrees of Eq. 10 are estimated from each side's own top-m candidate
 // scores — exact whenever k ≥ m. It returns, for every source node, its
-// best candidate by LISI (−1 when the node has no candidates).
+// best candidate by LISI (−1 when the node has no candidates); ties
+// resolve to the lower candidate index, the dense argmax rule.
 func SparseLISI(forward, backward *Candidates, m int) []int {
-	dt := topMeans(forward, m)
-	ds := topMeans(backward, m)
-	best := make([]int, len(forward.Idx))
-	for i, cands := range forward.Idx {
+	dt := topMeansInto(nil, forward, m)
+	ds := topMeansInto(nil, backward, m)
+	return sparseBest(forward, dt, ds, false)
+}
+
+// sparseBest returns each query's best candidate under the LISI
+// transform, with ties to the lower candidate index. The transform is
+// always evaluated as 2·s − Dt(source) − Ds(target) — float subtraction
+// is order-sensitive, so both scan directions must associate exactly
+// like the dense LISI kernel to stay bit-identical to it. rowIsTarget
+// selects which of dRow/dCand is the source hubness: false means rows
+// are sources (dRow = Dt), true means rows are targets (dRow = Ds).
+func sparseBest(c *Candidates, dRow, dCand []float64, rowIsTarget bool) []int {
+	best := make([]int, len(c.Idx))
+	for i, cands := range c.Idx {
 		best[i] = -1
 		bestScore := 0.0
-		for c, j := range cands {
-			score := 2*forward.Score[i][c] - dt[i] - ds[j]
-			if best[i] < 0 || score > bestScore {
+		for p, j := range cands {
+			var score float64
+			if rowIsTarget {
+				score = 2*c.Score[i][p] - dCand[j] - dRow[i]
+			} else {
+				score = 2*c.Score[i][p] - dRow[i] - dCand[j]
+			}
+			if best[i] < 0 || score > bestScore || (score == bestScore && int(j) < best[i]) {
 				best[i], bestScore = int(j), score
 			}
 		}
@@ -101,8 +262,16 @@ func SparseLISI(forward, backward *Candidates, m int) []int {
 // judged by LISI in its own direction. With k = n it reproduces the dense
 // TrustedPairs(LISI(corr, m)).
 func TrustedPairsTopK(forward, backward *Candidates, m int) [][2]int {
-	fb := SparseLISI(forward, backward, m)
-	bb := SparseLISI(backward, forward, m)
+	dt := topMeansInto(nil, forward, m)
+	ds := topMeansInto(nil, backward, m)
+	return trustedPairsCands(forward, backward, dt, ds)
+}
+
+// trustedPairsCands is TrustedPairsTopK with the hubness vectors already
+// computed (the fine-tuning loop reuses them for the LISI transform).
+func trustedPairsCands(forward, backward *Candidates, dt, ds []float64) [][2]int {
+	fb := sparseBest(forward, dt, ds, false)
+	bb := sparseBest(backward, ds, dt, true)
 	var pairs [][2]int
 	for i, j := range fb {
 		if j >= 0 && bb[j] == i {
@@ -112,23 +281,41 @@ func TrustedPairsTopK(forward, backward *Candidates, m int) [][2]int {
 	return pairs
 }
 
-// topMeans returns, per query, the mean of its top-m candidate scores (the
-// hubness degree estimate).
-func topMeans(c *Candidates, m int) []float64 {
-	out := make([]float64, len(c.Score))
+// topMeansInto fills dst (reallocating if needed) with, per query, the
+// mean of its top-m candidate scores — the hubness degree estimate. The
+// scores are summed in descending order, matching the dense topMean, so
+// the two backends agree bit-for-bit when k ≥ m.
+func topMeansInto(dst []float64, c *Candidates, m int) []float64 {
+	dst = ensureVec(dst, len(c.Score))
 	for i, scores := range c.Score {
 		lim := m
 		if lim > len(scores) {
 			lim = len(scores)
 		}
 		if lim == 0 {
+			dst[i] = 0
 			continue
 		}
 		var s float64
 		for _, v := range scores[:lim] {
 			s += v
 		}
-		out[i] = s / float64(lim)
+		dst[i] = s / float64(lim)
 	}
-	return out
+	return dst
+}
+
+// lisiTransform rewrites candidate scores from raw similarity to the LISI
+// of Eq. 11 — score(i,j) ← 2·score − dt[i] − ds[j] — and re-sorts every
+// row into descending LISI order (ties by lower index), restoring the
+// Candidates ordering contract under the new scores.
+func lisiTransform(c *Candidates, dt, ds []float64) {
+	for i, cands := range c.Idx {
+		scores := c.Score[i]
+		di := dt[i]
+		for p, j := range cands {
+			scores[p] = 2*scores[p] - di - ds[j]
+		}
+		sortRowDesc(cands, scores)
+	}
 }

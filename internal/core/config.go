@@ -94,6 +94,73 @@ func (v *Variant) UnmarshalText(text []byte) error {
 	return nil
 }
 
+// SimBackend selects how the pipeline represents similarity/alignment
+// scores: the full dense ns×nt matrix, the blocked top-k candidate
+// structure (O(n·k) memory), or an automatic choice by pair size.
+type SimBackend int
+
+// The similarity backends.
+const (
+	// SimAuto picks the backend from the pair size: dense while the
+	// score matrices stay comfortably in memory, top-k beyond (see
+	// autoDenseCells).
+	SimAuto SimBackend = iota
+	// SimDense always materialises full ns×nt score matrices — exact,
+	// and the right choice for small pairs.
+	SimDense
+	// SimTopK restricts every similarity stage to each node's top
+	// CandidateK counterparts. Memory drops from O(n²) to O(n·k); with
+	// k ≥ max(ns, nt) it is bit-identical to dense.
+	SimTopK
+)
+
+// String names the backend as it appears in configs and results.
+func (s SimBackend) String() string {
+	switch s {
+	case SimAuto:
+		return "auto"
+	case SimDense:
+		return "dense"
+	case SimTopK:
+		return "topk"
+	}
+	return fmt.Sprintf("SimBackend(%d)", int(s))
+}
+
+// ParseSimBackend resolves a backend name ("auto", "dense", "topk",
+// case-insensitive, empty = auto).
+func ParseSimBackend(s string) (SimBackend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return SimAuto, nil
+	case "dense", "full":
+		return SimDense, nil
+	case "topk", "top-k", "sparse":
+		return SimTopK, nil
+	}
+	return SimAuto, fmt.Errorf("core: unknown similarity backend %q (want auto, dense or topk)", s)
+}
+
+// MarshalText encodes the backend by name, so JSON configs say "topk"
+// rather than an opaque enum number.
+func (s SimBackend) MarshalText() ([]byte, error) {
+	switch s {
+	case SimAuto, SimDense, SimTopK:
+		return []byte(s.String()), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown similarity backend %d", int(s))
+}
+
+// UnmarshalText decodes a backend name via ParseSimBackend.
+func (s *SimBackend) UnmarshalText(text []byte) error {
+	parsed, err := ParseSimBackend(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
 // Config holds the pipeline hyperparameters. The zero value is completed
 // by withDefaults to the paper's settings (§V-A), except that the default
 // embedding width is scaled to laptop-sized graphs.
@@ -134,6 +201,19 @@ type Config struct {
 	// DiffusionAlpha is the PPR teleport probability of HTC-DT
 	// (default 0.15, the paper's best).
 	DiffusionAlpha float64 `json:"diffusion_alpha,omitempty"`
+	// Similarity selects the similarity representation: SimAuto (the
+	// default) uses dense matrices up to autoDenseCells score cells and
+	// the top-k candidate backend beyond; SimDense and SimTopK force a
+	// backend. The top-k backend bounds similarity memory at O(n·k)
+	// instead of O(n²), at the cost of restricting matching, trusted
+	// pairs and evaluation to each node's candidate list (exact when
+	// CandidateK ≥ max(ns, nt)).
+	Similarity SimBackend `json:"similarity,omitempty"`
+	// CandidateK is the per-node candidate count of the top-k backend
+	// (0 = automatic: max(32, 2·M), clamped to the pair size). It must
+	// not be negative; Align rejects negative values. Ignored by the
+	// dense backend.
+	CandidateK int `json:"candidate_k,omitempty"`
 	// Seed drives every random choice (weight init); equal seeds give
 	// bit-identical runs.
 	Seed int64 `json:"seed,omitempty"`
@@ -206,6 +286,50 @@ func (c Config) withDefaults() Config {
 		c.Workers = 0
 	}
 	return c
+}
+
+// autoDenseCells is the SimAuto crossover: pairs whose score matrices
+// would exceed this many cells (≈ 134 MB per ns×nt float64 buffer, and
+// the fine-tuning loop holds several) switch to the top-k backend. At
+// 4096×4096 a dense run is still comfortable on a laptop; well beyond it
+// the dense working set grows quadratically while top-k stays O(n·k).
+const autoDenseCells = 1 << 24
+
+// ResolveSimilarity resolves the configured backend against a concrete
+// pair size: SimAuto picks dense or top-k by cell count, and the top-k
+// candidate count defaults to max(32, 2·M) clamped to the larger side.
+// The returned backend is never SimAuto; k is 0 for the dense backend.
+func (c Config) ResolveSimilarity(ns, nt int) (backend SimBackend, k int) {
+	c = c.withDefaults()
+	backend = c.Similarity
+	if backend == SimAuto {
+		if int64(ns)*int64(nt) > autoDenseCells {
+			backend = SimTopK
+		} else {
+			backend = SimDense
+		}
+	}
+	if backend != SimTopK {
+		return SimDense, 0
+	}
+	k = c.CandidateK
+	if k <= 0 {
+		k = 2 * c.M
+		if k < 32 {
+			k = 32
+		}
+	}
+	max := ns
+	if nt > max {
+		max = nt
+	}
+	if k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	return SimTopK, k
 }
 
 // StageTimings decomposes a run's wall-clock time into the stages of the

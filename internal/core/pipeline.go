@@ -24,6 +24,10 @@ var ErrAttrMismatch = errors.New("core: source and target attribute dimensions d
 // silently poison training.
 var ErrBadAttrs = errors.New("core: attributes contain non-finite values")
 
+// ErrBadCandidateK reports a negative top-k candidate count (0 selects
+// the automatic default; anything below is a caller bug).
+var ErrBadCandidateK = errors.New("core: candidate_k must be ≥ 1 (or 0 for the automatic default)")
+
 // OrbitOutcome summarises one orbit's contribution to the final alignment.
 type OrbitOutcome struct {
 	// Orbit is the orbit index (or diffusion order for HTC-DT).
@@ -40,8 +44,21 @@ type OrbitOutcome struct {
 // Result is the output of one pipeline run.
 type Result struct {
 	// M is the final ns×nt alignment matrix (higher scores mean more
-	// likely anchors).
+	// likely anchors). It is populated only by the dense similarity
+	// backend; under the top-k backend the scores live in Sim — never
+	// materialising this matrix is that backend's whole point.
 	M *dense.Matrix
+	// Sim is the final alignment representation, whatever the backend:
+	// a dense matrix wrapper or a per-node candidate list. All score
+	// consumers (Predict, matching, evaluation) go through it.
+	Sim align.Sim
+	// SimBackend names the similarity backend the run resolved to
+	// ("dense" or "topk") — SimAuto configs report their concrete
+	// choice.
+	SimBackend string
+	// CandidateK is the per-node candidate count of a top-k run (0 on
+	// dense runs).
+	CandidateK int
 	// PerOrbit reports each orbit's trusted-pair count and weight,
 	// ordered by orbit index — the data behind the paper's Fig. 6.
 	PerOrbit []OrbitOutcome
@@ -61,18 +78,33 @@ type Result struct {
 }
 
 // Predict returns, for every source node, the target node with the highest
-// alignment score. Different source nodes may map to the same target; use
+// alignment score (−1 for nodes without candidates under the top-k
+// backend). Different source nodes may map to the same target; use
 // MatchOneToOne for an injective assignment.
-func (r *Result) Predict() []int { return r.M.ArgmaxRows() }
+func (r *Result) Predict() []int {
+	if r.Sim != nil {
+		return r.Sim.Predict()
+	}
+	return r.M.ArgmaxRows()
+}
 
 // MatchOneToOne extracts an injective assignment from the alignment
-// matrix: the exact Hungarian optimum up to 1500×1500 scores, the greedy
-// 1/2-approximation beyond (the O(n³) exact solve stops being worth it).
+// scores. Dense runs use the exact Hungarian optimum up to 1500×1500
+// scores and the greedy 1/2-approximation beyond (the O(n³) exact solve
+// stops being worth it); top-k runs use the candidate-aware greedy
+// matcher, which only ever touches the O(n·k) represented pairs.
 func (r *Result) MatchOneToOne() []int {
-	if r.M.Rows*r.M.Cols > 1500*1500 {
-		return align.GreedyMatch(r.M)
+	if r.Sim != nil && r.Sim.Backend() == align.BackendTopK {
+		return align.GreedyMatchSim(r.Sim)
 	}
-	return align.HungarianMatch(r.M)
+	m := r.M
+	if m == nil {
+		m = r.Sim.Dense()
+	}
+	if m.Rows*m.Cols > 1500*1500 {
+		return align.GreedyMatch(m)
+	}
+	return align.HungarianMatch(m)
 }
 
 // Align runs the configured HTC pipeline on a source and target graph.
@@ -124,6 +156,9 @@ func (p *Prepared) Align(cfg Config) (*Result, error) {
 // AlignContext is Prepared.Align with cooperative cancellation, with the
 // same promptness contract as the package-level AlignContext.
 func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.CandidateK < 0 {
+		return nil, fmt.Errorf("%w: candidate_k = %d", ErrBadCandidateK, cfg.CandidateK)
+	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	obs := newEmitter(cfg.Progress)
@@ -177,20 +212,26 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	// instead.
 	t0 = time.Now()
 	k := setS.K()
-	ms := make([]*dense.Matrix, k)
+	sims := make([]align.Sim, k)
 	trusted := make([]int, k)
 	res.PerOrbit = make([]OrbitOutcome, k)
-	// Each in-flight fine-tune holds a few ns×nt similarity buffers, so
-	// on huge pairs the fan-out is additionally capped by a scratch-memory
-	// budget — beyond it, concurrency would multiply gigabyte-sized
-	// working sets, not speed; the unused share of the budget flows into
-	// each orbit's kernels instead.
-	slots := fineTuneConcurrencyCap(p.gs.N(), p.gt.N())
+	// Resolve the similarity backend against the concrete pair size
+	// (SimAuto picks here) and record the choice in the result.
+	backend, candidateK := cfg.ResolveSimilarity(p.gs.N(), p.gt.N())
+	res.SimBackend = backend.String()
+	res.CandidateK = candidateK
+	// Each in-flight fine-tune holds its similarity working set — a few
+	// ns×nt buffers on the dense backend, O((ns+nt)·k) candidate
+	// structures on top-k — so on huge pairs the fan-out is additionally
+	// capped by a scratch-memory budget: beyond it, concurrency would
+	// multiply gigabyte-sized working sets, not speed; the unused share
+	// of the budget flows into each orbit's kernels instead.
+	slots := fineTuneConcurrencyCap(p.gs.N(), p.gt.N(), candidateK)
 	if slots > k {
 		slots = k
 	}
 	outer, inner := par.SplitOuterInner(workers, slots)
-	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Workers: inner, KeepEmbeddings: cfg.KeepEmbeddings, Ctx: ctx}
+	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Workers: inner, TopK: candidateK, KeepEmbeddings: cfg.KeepEmbeddings, Ctx: ctx}
 	if !cfg.Variant.usesFineTune() {
 		ftCfg.MaxIters = 1 // single pass: score + trusted count, no reinforcement rounds
 		ftCfg.KnownPairs = nil
@@ -218,7 +259,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 		return nil, err
 	}
 	for i, ft := range fts {
-		ms[i] = ft.M
+		sims[i] = ft.Sim
 		trusted[i] = ft.Trusted
 		res.PerOrbit[i] = OrbitOutcome{Orbit: i, Trusted: ft.Trusted, Iters: ft.Iters}
 		if cfg.KeepEmbeddings {
@@ -231,13 +272,18 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 		return nil, err
 	}
 
-	// Stage 5: posterior importance integration (Eq. 15).
+	// Stage 5: posterior importance integration (Eq. 15), backend-generic
+	// — a weighted matrix sum on dense, a per-row candidate merge on
+	// top-k.
 	t0 = time.Now()
-	m, gammas := align.Integrate(ms, trusted)
+	sim, gammas := align.IntegrateSims(sims, trusted)
 	for i := range res.PerOrbit {
 		res.PerOrbit[i].Gamma = gammas[i]
 	}
-	res.M = m
+	res.Sim = sim
+	if d, ok := sim.(align.DenseSim); ok {
+		res.M = d.M
+	}
 	res.Timings.Integration = time.Since(t0)
 	obs.emit(Progress{Stage: StageIntegrate, Done: 1, Total: 1, Orbit: -1})
 
@@ -246,14 +292,24 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 }
 
 // fineTuneConcurrencyCap bounds how many per-orbit fine-tuning loops may
-// run at once: each holds ~4 ns×nt float64 buffers (similarity, its
-// transpose, LISI, best-M), so the cap keeps their combined scratch under
-// ~2 GiB. Laptop- and benchmark-sized pairs are unaffected; 20k×20k pairs
-// degrade to sequential orbits (each still using the full kernel budget)
-// instead of multiplying gigabyte working sets.
-func fineTuneConcurrencyCap(ns, nt int) int {
+// run at once, keeping their combined similarity scratch under ~2 GiB.
+// On the dense backend each loop holds ~4 ns×nt float64 buffers
+// (similarity, its transpose, LISI, best-M); 20k×20k pairs degrade to
+// sequential orbits (each still using the full kernel budget) instead of
+// multiplying gigabyte working sets. On the top-k backend (candidateK
+// ≥ 1) the working set is the forward/backward candidate structures plus
+// block scratch — O((ns+nt)·k) — so far larger pairs keep their orbit
+// fan-out.
+func fineTuneConcurrencyCap(ns, nt, candidateK int) int {
 	const budgetBytes = 2 << 30
-	per := 4 * 8 * int64(ns) * int64(nt)
+	var per int64
+	if candidateK > 0 {
+		// 12 bytes per candidate (id + score) in each direction, doubled
+		// for the snapshot the result keeps, plus slack for block scratch.
+		per = 48 * int64(ns+nt) * int64(candidateK)
+	} else {
+		per = 4 * 8 * int64(ns) * int64(nt)
+	}
 	if per <= 0 {
 		return 1
 	}

@@ -16,9 +16,11 @@ import (
 	"time"
 
 	htc "github.com/htc-align/htc"
+	"github.com/htc-align/htc/internal/align"
 	"github.com/htc-align/htc/internal/baselines"
 	"github.com/htc-align/htc/internal/core"
 	"github.com/htc-align/htc/internal/datasets"
+	"github.com/htc-align/htc/internal/graph"
 	"github.com/htc-align/htc/internal/metrics"
 )
 
@@ -35,6 +37,13 @@ type Options struct {
 	// experiment (the htc-experiments -progress flag feeds it to a
 	// stderr logger). Baseline methods don't report progress.
 	Progress core.Observer
+	// Similarity selects the similarity backend every HTC run uses
+	// (auto/dense/topk; the htc-experiments -sim flag). Baselines are
+	// untouched — the knob exists to measure the top-k approximation
+	// against the paper numbers.
+	Similarity core.SimBackend
+	// CandidateK is the top-k candidate count (0 = automatic).
+	CandidateK int
 }
 
 func (o Options) withDefaults() Options {
@@ -54,7 +63,10 @@ func (o Options) size(base int) int {
 
 // htcConfig is the shared HTC configuration for all experiments.
 func (o Options) htcConfig() core.Config {
-	return core.Config{Hidden: 64, Embed: 32, Epochs: o.Epochs, Seed: o.Seed, Progress: o.Progress}
+	return core.Config{
+		Hidden: 64, Embed: 32, Epochs: o.Epochs, Seed: o.Seed, Progress: o.Progress,
+		Similarity: o.Similarity, CandidateK: o.CandidateK,
+	}
 }
 
 // realWorldPairs generates the three "real-world" pairs at the requested
@@ -96,6 +108,14 @@ type Cell struct {
 	Seconds float64
 }
 
+// simAligner is the optional richer face of an Aligner: it returns the
+// backend's native similarity representation, so top-k runs are
+// evaluated over candidate lists (pruned anchors = misses) instead of a
+// floored dense materialisation that would inflate their ranks.
+type simAligner interface {
+	AlignSim(gs, gt *graph.Graph, seeds []baselines.Anchor) (align.Sim, error)
+}
+
 // runMethod executes one aligner on one pair and evaluates it.
 func runMethod(m method, pair *datasets.Pair, seed int64) (Cell, error) {
 	var seeds []baselines.Anchor
@@ -103,12 +123,22 @@ func runMethod(m method, pair *datasets.Pair, seed int64) (Cell, error) {
 		seeds = baselines.SampleSeeds(pair.Truth, 0.10, seed)
 	}
 	start := time.Now()
-	matrix, err := m.aligner.Align(pair.Source, pair.Target, seeds)
-	if err != nil {
-		return Cell{}, fmt.Errorf("%s on %s: %w", m.aligner.Name(), pair.Name, err)
+	var sim align.Sim
+	if sa, ok := m.aligner.(simAligner); ok {
+		s, err := sa.AlignSim(pair.Source, pair.Target, seeds)
+		if err != nil {
+			return Cell{}, fmt.Errorf("%s on %s: %w", m.aligner.Name(), pair.Name, err)
+		}
+		sim = s
+	} else {
+		matrix, err := m.aligner.Align(pair.Source, pair.Target, seeds)
+		if err != nil {
+			return Cell{}, fmt.Errorf("%s on %s: %w", m.aligner.Name(), pair.Name, err)
+		}
+		sim = align.DenseSim{M: matrix}
 	}
 	elapsed := time.Since(start)
-	rep := metrics.Evaluate(matrix, pair.Truth, 1, 10)
+	rep := metrics.EvaluateSim(sim, pair.Truth, 1, 10)
 	return Cell{
 		Method: m.aligner.Name(), Dataset: pair.Name,
 		P1: rep.PrecisionAt[1], P10: rep.PrecisionAt[10], MRR: rep.MRR,

@@ -204,7 +204,7 @@ func Fig10(o Options) ([]HyperPoint, string, error) {
 		if err != nil {
 			return fmt.Errorf("%s sweep on %s: %w", param, pair.Name, err)
 		}
-		p1 := metrics.Evaluate(res.M, pair.Truth, 1).PrecisionAt[1]
+		p1 := metrics.EvaluateSim(res.Sim, pair.Truth, 1).PrecisionAt[1]
 		points = append(points, HyperPoint{Dataset: pair.Name, Param: param, Value: value, P1: p1})
 		return nil
 	}

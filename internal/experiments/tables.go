@@ -126,7 +126,7 @@ func Table3(o Options) ([]AblationCell, string, error) {
 			if err != nil {
 				return nil, "", fmt.Errorf("%v on %s: %w", v.name, pair.Name, err)
 			}
-			rep := metrics.Evaluate(res.M, pair.Truth, 1)
+			rep := metrics.EvaluateSim(res.Sim, pair.Truth, 1)
 			cells = append(cells, AblationCell{
 				Variant: v.name, Dataset: pair.Name,
 				P1: rep.PrecisionAt[1], MRR: rep.MRR,

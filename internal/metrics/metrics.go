@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 
+	"github.com/htc-align/htc/internal/align"
 	"github.com/htc-align/htc/internal/dense"
 )
 
@@ -77,17 +78,74 @@ func Evaluate(m *dense.Matrix, truth Truth, qs ...int) Report {
 			}
 		}
 	}
-	if rep.Anchors == 0 {
-		for _, q := range qs {
-			rep.PrecisionAt[q] = 0
+	return rep.finish(hits, mrr, qs)
+}
+
+// EvaluateSim is Evaluate over any similarity representation, the
+// backend-generic form consumed by the pipeline, the server and the
+// CLIs. On a dense representation it is exactly Evaluate. On a top-k
+// representation the rank of the true anchor is computed among the
+// row's candidates — 1 + (number of strictly larger candidate scores) —
+// and an anchor missing from its row's candidate list counts as a miss
+// at every cutoff (Hits@q) and contributes nothing to MRR, so pruning
+// can only ever lower the reported numbers, never inflate them. With
+// k ≥ nt every pair is a candidate and the two forms agree exactly.
+func EvaluateSim(sim align.Sim, truth Truth, qs ...int) Report {
+	if d, ok := sim.(align.DenseSim); ok {
+		// The generic path would pay DenseSim.Scan's per-row sort just to
+		// count strictly-larger scores; the dense evaluator's single pass
+		// computes the same ranks.
+		return Evaluate(d.M, truth, qs...)
+	}
+	rows, cols := sim.Dims()
+	if len(truth) != rows {
+		panic(fmt.Sprintf("metrics: truth has %d entries for %d source nodes", len(truth), rows))
+	}
+	rep := Report{PrecisionAt: make(map[int]float64, len(qs))}
+	hits := make(map[int]int, len(qs))
+	var mrr float64
+	for s, tgt := range truth {
+		if tgt < 0 {
+			continue
 		}
-		return rep
+		if tgt >= cols {
+			panic(fmt.Sprintf("metrics: anchor %d→%d outside %d target nodes", s, tgt, cols))
+		}
+		rep.Anchors++
+		score, ok := sim.At(s, tgt)
+		if !ok {
+			continue // anchor pruned from the candidate list: a miss
+		}
+		rank := 1
+		sim.Scan(s, func(_ int, v float64) {
+			if v > score {
+				rank++
+			}
+		})
+		mrr += 1 / float64(rank)
+		for _, q := range qs {
+			if rank <= q {
+				hits[q]++
+			}
+		}
 	}
-	rep.MRR = mrr / float64(rep.Anchors)
+	return rep.finish(hits, mrr, qs)
+}
+
+// finish folds the accumulated hit counts and reciprocal-rank sum into
+// the report.
+func (r Report) finish(hits map[int]int, mrr float64, qs []int) Report {
+	if r.Anchors == 0 {
+		for _, q := range qs {
+			r.PrecisionAt[q] = 0
+		}
+		return r
+	}
+	r.MRR = mrr / float64(r.Anchors)
 	for _, q := range qs {
-		rep.PrecisionAt[q] = float64(hits[q]) / float64(rep.Anchors)
+		r.PrecisionAt[q] = float64(hits[q]) / float64(r.Anchors)
 	}
-	return rep
+	return r
 }
 
 // String renders the standard p@1/p@10/MRR triple.

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/align"
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// fullCandidates converts a dense score matrix into the k = cols
+// candidate form (every pair represented, rows sorted best-first).
+func fullCandidates(m *dense.Matrix) *align.TopKSim {
+	c := &align.Candidates{K: m.Cols, Idx: make([][]int32, m.Rows), Score: make([][]float64, m.Rows)}
+	for i := 0; i < m.Rows; i++ {
+		type cand struct {
+			j int32
+			v float64
+		}
+		cands := make([]cand, m.Cols)
+		for j := 0; j < m.Cols; j++ {
+			cands[j] = cand{int32(j), m.At(i, j)}
+		}
+		for a := 1; a < len(cands); a++ { // insertion sort: desc score, asc index
+			for b := a; b > 0 && (cands[b].v > cands[b-1].v || (cands[b].v == cands[b-1].v && cands[b].j < cands[b-1].j)); b-- {
+				cands[b], cands[b-1] = cands[b-1], cands[b]
+			}
+		}
+		idx := make([]int32, m.Cols)
+		score := make([]float64, m.Cols)
+		for p, c := range cands {
+			idx[p], score[p] = c.j, c.v
+		}
+		c.Idx[i], c.Score[i] = idx, score
+	}
+	return &align.TopKSim{C: c, Cols: m.Cols}
+}
+
+// TestEvaluateSimDenseAgrees: EvaluateSim over a DenseSim must equal the
+// classic dense Evaluate exactly.
+func TestEvaluateSimDenseAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := dense.New(20, 25)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	truth := make(Truth, 20)
+	for i := range truth {
+		truth[i] = rng.Intn(25)
+	}
+	truth[3] = -1 // partial alignment
+
+	d := Evaluate(m, truth, 1, 5, 10)
+	s := EvaluateSim(align.DenseSim{M: m}, truth, 1, 5, 10)
+	f := EvaluateSim(fullCandidates(m), truth, 1, 5, 10)
+	for _, got := range []Report{s, f} {
+		if got.MRR != d.MRR || got.Anchors != d.Anchors {
+			t.Fatalf("report %v differs from dense %v", got, d)
+		}
+		for _, q := range []int{1, 5, 10} {
+			if got.PrecisionAt[q] != d.PrecisionAt[q] {
+				t.Fatalf("p@%d: %v vs %v", q, got.PrecisionAt[q], d.PrecisionAt[q])
+			}
+		}
+	}
+}
+
+// TestEvaluateSimPrunedAnchorIsMiss: an anchor outside its row's
+// candidate list scores as a miss — no hit at any cutoff, no MRR mass —
+// so pruning can only lower the report.
+func TestEvaluateSimPrunedAnchorIsMiss(t *testing.T) {
+	c := &align.Candidates{
+		K:     1,
+		Idx:   [][]int32{{1}, {0}},
+		Score: [][]float64{{0.9}, {0.8}},
+	}
+	sim := &align.TopKSim{C: c, Cols: 3}
+	// Row 0's anchor (1) is its candidate: a hit. Row 1's anchor (2) was
+	// pruned: a miss.
+	rep := EvaluateSim(sim, Truth{1, 2}, 1, 10)
+	if rep.Anchors != 2 {
+		t.Fatalf("anchors = %d", rep.Anchors)
+	}
+	if rep.PrecisionAt[1] != 0.5 || rep.PrecisionAt[10] != 0.5 {
+		t.Fatalf("precision %v, want 0.5 at every cutoff", rep.PrecisionAt)
+	}
+	if rep.MRR != 0.5 {
+		t.Fatalf("MRR = %v, want 0.5", rep.MRR)
+	}
+}

@@ -189,6 +189,24 @@ func (r *AlignRequest) validate(maxNodes int) error {
 	if len(r.HitsAt) > 16 {
 		return fmt.Errorf("at most 16 hits_at cutoffs, got %d", len(r.HitsAt))
 	}
+	if err := validateSimilarity(r.Config); err != nil {
+		return err
+	}
+	for i, cfg := range r.Configs {
+		if err := validateSimilarity(cfg); err != nil {
+			return fmt.Errorf("configs[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// validateSimilarity rejects unusable top-k settings at admission: a
+// candidate count below 1 can never run (0 is the JSON zero value and
+// therefore means "unset, use the automatic default").
+func validateSimilarity(cfg core.Config) error {
+	if cfg.CandidateK < 0 {
+		return fmt.Errorf("candidate_k must be ≥ 1 (got %d); omit it for the automatic default", cfg.CandidateK)
+	}
 	return nil
 }
 
@@ -299,6 +317,12 @@ type AlignResult struct {
 	// requested config.workers capped at the server's per-job share of
 	// the machine (GOMAXPROCS divided by the worker-pool size).
 	WorkersUsed int `json:"workers_used,omitempty"`
+	// SimBackend is the similarity backend the run resolved to ("dense"
+	// or "topk") — auto configs report their concrete choice.
+	SimBackend string `json:"sim_backend"`
+	// CandidateK is the per-node candidate count of a top-k run (absent
+	// on dense runs).
+	CandidateK int `json:"candidate_k,omitempty"`
 	// Cached reports that the result was served from the content-hash
 	// cache rather than recomputed.
 	Cached bool `json:"cached"`

@@ -27,6 +27,23 @@ type Metrics struct {
 	// SweepConfigs counts individual configurations executed by sweep
 	// jobs (cache-served entries included).
 	SweepConfigs atomic.Int64
+	// SimDenseRuns/SimTopKRuns count completed pipeline runs per
+	// similarity backend (auto configs count under the backend they
+	// resolved to), so operators can see the dense/top-k mix their
+	// traffic actually exercises.
+	SimDenseRuns atomic.Int64
+	SimTopKRuns  atomic.Int64
+}
+
+// recordBackend tallies one completed pipeline run under its resolved
+// similarity backend.
+func (m *Metrics) recordBackend(backend string) {
+	switch backend {
+	case "topk":
+		m.SimTopKRuns.Add(1)
+	default:
+		m.SimDenseRuns.Add(1)
+	}
 }
 
 // writePrometheus renders the counters in Prometheus exposition format.
@@ -45,6 +62,8 @@ func (m *Metrics) writePrometheus(w io.Writer, extras map[string]float64) {
 	counter("htc_prepared_hits_total", "Jobs that reused cached prepared artifacts for their graph pair.", m.PreparedHits.Load())
 	counter("htc_prepared_misses_total", "Jobs that had to prepare their graph pair from scratch.", m.PreparedMisses.Load())
 	counter("htc_sweep_configs_total", "Configurations executed on behalf of sweep jobs.", m.SweepConfigs.Load())
+	counter("htc_sim_dense_runs_total", "Pipeline runs that used the dense similarity backend.", m.SimDenseRuns.Load())
+	counter("htc_sim_topk_runs_total", "Pipeline runs that used the top-k similarity backend.", m.SimTopKRuns.Load())
 	fmt.Fprintf(w, "# HELP htc_jobs_running Jobs currently holding a worker.\n# TYPE htc_jobs_running gauge\nhtc_jobs_running %d\n", m.JobsRunning.Load())
 	names := make([]string, 0, len(extras))
 	for name := range extras {

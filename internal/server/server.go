@@ -165,6 +165,7 @@ func (s *Server) runJob(ctx context.Context, job *Job) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.recordBackend(res.SimBackend)
 	if !prepHit {
 		// This job paid the eager artifact build inside Prepare; fold it
 		// into the run's stage decomposition like the one-shot API does.
@@ -256,6 +257,7 @@ func (s *Server) runSweep(ctx context.Context, job *Job, pair *datasets.Pair) (*
 			entry.Error = err.Error()
 			continue
 		}
+		s.metrics.recordBackend(res.SimBackend)
 		if foldPrep {
 			res.Timings.OrbitCounting += prep.PrepareTimings().OrbitCounting
 			res.Timings.Laplacians += prep.PrepareTimings().Laplacians
@@ -302,7 +304,9 @@ func jobObserver(job *Job, cfgIdx, cfgTotal int) core.Observer {
 }
 
 // buildResult converts a pipeline result into the API payload: one-to-one
-// matching, per-orbit report, stage timings, optional evaluation.
+// matching, per-orbit report, stage timings, optional evaluation. Every
+// score consumer goes through the result's Sim, so top-k jobs never
+// materialise a dense matrix inside the server either.
 func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 	match := res.MatchOneToOne()
 	out := &AlignResult{
@@ -311,6 +315,8 @@ func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 		TimingsMS:     stageMS(res.Timings),
 		EpochsTrained: len(res.LossHistory),
 		WorkersUsed:   res.Workers,
+		SimBackend:    res.SimBackend,
+		CandidateK:    res.CandidateK,
 	}
 	for src, tgt := range match {
 		if tgt >= 0 {
@@ -321,7 +327,7 @@ func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 		out.PerOrbit[i] = OrbitReport{Orbit: o.Orbit, Trusted: o.Trusted, Gamma: o.Gamma, Iters: o.Iters}
 	}
 	if truth := pair.Truth; truth.NumAnchors() > 0 {
-		rep := metrics.Evaluate(res.M, truth, qs...)
+		rep := metrics.EvaluateSim(res.Sim, truth, qs...)
 		out.Eval = &EvalReport{PrecisionAt: rep.PrecisionAt, MRR: rep.MRR, Anchors: rep.Anchors}
 	}
 	return out

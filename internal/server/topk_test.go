@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// topkBody is fastBody forced onto the top-k similarity backend.
+func topkBody(dataSeed int64, k int) string {
+	return fmt.Sprintf(`{"dataset":"synthetic","n":60,"data_seed":%d,
+		"config":{"variant":"HTC-L","epochs":3,"hidden":8,"embed":4,"m":5,
+		"similarity":"topk","candidate_k":%d}}`, dataSeed, k)
+}
+
+// TestAlignTopKJob: a top-k job reports its backend and candidate count
+// in the result, returns pairs, and evaluates through the candidate
+// lists.
+func TestAlignTopKJob(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	code, info := submit(t, ts, topkBody(31, 10))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	info = waitFor(t, ts, info.ID, StatusDone)
+	res := info.Result
+	if res == nil {
+		t.Fatal("no result payload")
+	}
+	if res.SimBackend != "topk" || res.CandidateK != 10 {
+		t.Fatalf("sim_backend=%q candidate_k=%d, want topk/10", res.SimBackend, res.CandidateK)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no matched pairs")
+	}
+	if res.Eval == nil || res.Eval.Anchors == 0 {
+		t.Fatal("no evaluation against the dataset's ground truth")
+	}
+}
+
+// TestDenseJobReportsBackend: the default dense path names itself too,
+// with candidate_k omitted.
+func TestDenseJobReportsBackend(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	_, info := submit(t, ts, fastBody(32))
+	info = waitFor(t, ts, info.ID, StatusDone)
+	if info.Result.SimBackend != "dense" || info.Result.CandidateK != 0 {
+		t.Fatalf("sim_backend=%q candidate_k=%d, want dense/0", info.Result.SimBackend, info.Result.CandidateK)
+	}
+}
+
+// TestRejectBadCandidateK: an unusable candidate count is a 400 at
+// admission, on both endpoints.
+func TestRejectBadCandidateK(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	code, _ := submit(t, ts, topkBody(33, -1))
+	if code != http.StatusBadRequest {
+		t.Fatalf("align submit with candidate_k=-1: %d, want 400", code)
+	}
+
+	sweep := `{"dataset":"synthetic","n":60,
+		"configs":[{"variant":"HTC-L","epochs":3,"hidden":8,"embed":4,"m":5,
+		"similarity":"topk","candidate_k":-2}]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sweep with candidate_k=-2: %d (%s), want 400", resp.StatusCode, blob)
+	}
+	if !strings.Contains(string(blob), "candidate_k") {
+		t.Fatalf("error does not name the offending field: %s", blob)
+	}
+}
+
+// TestRejectUnknownSimilarity: an unknown backend name fails JSON
+// decoding with a 400 rather than silently running dense.
+func TestRejectUnknownSimilarity(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	body := `{"dataset":"synthetic","n":60,"config":{"similarity":"cosine"}}`
+	code, _ := submit(t, ts, body)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown similarity backend: %d, want 400", code)
+	}
+}
+
+// TestBackendCacheKeySeparation: the same pair under dense and top-k
+// must occupy distinct result-cache entries — the representations (and
+// scores, at pruning k) genuinely differ.
+func TestBackendCacheKeySeparation(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	_, dense := submit(t, ts, fastBody(34))
+	waitFor(t, ts, dense.ID, StatusDone)
+	code, topk := submit(t, ts, topkBody(34, 10))
+	if code != http.StatusAccepted {
+		t.Fatalf("top-k submission served from the dense cache entry (code %d)", code)
+	}
+	info := waitFor(t, ts, topk.ID, StatusDone)
+	if info.Result.Cached {
+		t.Fatal("top-k result claims to be cached")
+	}
+	if info.Result.SimBackend != "topk" {
+		t.Fatalf("backend %q", info.Result.SimBackend)
+	}
+
+	// Resubmitting the identical top-k request is a cache hit.
+	code, again := submit(t, ts, topkBody(34, 10))
+	if code != http.StatusOK || again.Result == nil || !again.Result.Cached {
+		t.Fatalf("identical top-k resubmission not served from cache (code %d)", code)
+	}
+	if again.Result.SimBackend != "topk" || again.Result.CandidateK != 10 {
+		t.Fatalf("cached result lost backend fields: %+v", again.Result)
+	}
+}
+
+// TestBackendPrometheusCounters: completed runs are tallied per backend.
+func TestBackendPrometheusCounters(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	_, a := submit(t, ts, fastBody(35))
+	waitFor(t, ts, a.ID, StatusDone)
+	_, b := submit(t, ts, topkBody(35, 10))
+	waitFor(t, ts, b.ID, StatusDone)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	text := string(blob)
+	for _, want := range []string{"htc_sim_dense_runs_total 1", "htc_sim_topk_runs_total 1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

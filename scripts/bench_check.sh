@@ -1,28 +1,41 @@
 #!/usr/bin/env sh
 # Compare a fresh benchmark snapshot against a checked-in baseline and fail
-# when any shared benchmark regressed beyond the allowed factor.
+# when any shared benchmark regressed beyond the allowed factor — in time
+# (ns/op) or in allocated memory (B/op).
 #
-# Usage: scripts/bench_check.sh baseline.json fresh.json [max-factor]
+# Usage: scripts/bench_check.sh baseline.json fresh.json [max-factor] [max-bytes-factor]
 #
 # Benchmarks are matched by name; entries present in only one file are
-# ignored (new benchmarks don't fail the gate). The default factor of 2 is
-# deliberately loose: snapshots are single-iteration smoke timings, and the
-# gate exists to catch order-of-magnitude mistakes (an accidentally serial
-# kernel, a reintroduced dense path), not percent-level noise.
+# ignored (new benchmarks don't fail the gate), and the bytes gate only
+# fires when both snapshots recorded bytes_per_op. The default time factor
+# of 2 is deliberately loose: snapshots are single-iteration smoke
+# timings, and the gate exists to catch order-of-magnitude mistakes (an
+# accidentally serial kernel, a reintroduced dense path), not
+# percent-level noise. Allocated bytes are deterministic-ish, so their
+# default factor is tighter (1.5) — a dense ns×nt matrix sneaking back
+# into the top-k path multiplies B/op far beyond that.
 set -eu
 
 baseline=$1
 fresh=$2
 factor=${3:-2.0}
+bytes_factor=${4:-1.5}
 
-# Extract "name ns_per_op" pairs from the snapshot JSON (one benchmark per
-# line, as produced by bench_snapshot.sh). The -GOMAXPROCS suffix Go
-# appends on multi-core hosts is stripped again here, so snapshots taken
-# before that normalisation (or hand-edited) still match by name.
+# Extract "name ns_per_op bytes_per_op" triples from the snapshot JSON
+# (one benchmark per line, as produced by bench_snapshot.sh; a missing
+# bytes_per_op becomes "-"). The -GOMAXPROCS suffix Go appends on
+# multi-core hosts is stripped again here, so snapshots taken before that
+# normalisation (or hand-edited) still match by name.
 extract() {
 	tr ',' '\n' < "$1" | awk '
-		/"name"/    { gsub(/.*"name": "|"/, ""); sub(/-[0-9]+$/, ""); name = $0 }
-		/"ns_per_op"/ { gsub(/.*"ns_per_op": |}.*/, ""); print name, $0 }'
+		/"name"/ {
+			if (name != "") print name, ns, bytes
+			gsub(/.*"name": "|"/, ""); sub(/-[0-9]+$/, "")
+			name = $0; ns = "-"; bytes = "-"
+		}
+		/"ns_per_op"/    { gsub(/.*"ns_per_op": |}.*/, "");    ns = $0 }
+		/"bytes_per_op"/ { gsub(/.*"bytes_per_op": |}.*/, ""); bytes = $0 }
+		END { if (name != "") print name, ns, bytes }'
 }
 
 extract "$baseline" | sort > /tmp/bench_base.$$
@@ -30,9 +43,11 @@ extract "$fresh" | sort > /tmp/bench_fresh.$$
 
 fail=0
 compared=0
-while read -r name base; do
-	new=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_fresh.$$)
-	[ -z "$new" ] && continue
+while read -r name base basebytes; do
+	line=$(awk -v n="$name" '$1 == n { print $2, $3 }' /tmp/bench_fresh.$$)
+	[ -z "$line" ] && continue
+	new=${line% *}
+	newbytes=${line#* }
 	compared=$((compared + 1))
 	worse=$(awk -v b="$base" -v n="$new" -v f="$factor" 'BEGIN { print (n > b * f) ? 1 : 0 }')
 	if [ "$worse" = 1 ]; then
@@ -40,6 +55,16 @@ while read -r name base; do
 		fail=1
 	else
 		echo "ok: $name ${base}ns -> ${new}ns"
+	fi
+	# Allocated-bytes gate: only when both snapshots carry the series.
+	if [ "$basebytes" != "-" ] && [ "$newbytes" != "-" ]; then
+		worse=$(awk -v b="$basebytes" -v n="$newbytes" -v f="$bytes_factor" 'BEGIN { print (n > b * f) ? 1 : 0 }')
+		if [ "$worse" = 1 ]; then
+			echo "REGRESSION: $name ${basebytes}B/op -> ${newbytes}B/op (allowed factor $bytes_factor)" >&2
+			fail=1
+		else
+			echo "ok: $name ${basebytes}B/op -> ${newbytes}B/op"
+		fi
 	fi
 done < /tmp/bench_base.$$
 

@@ -44,7 +44,16 @@ BEGIN {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	if (n++) printf ",\n"
-	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+	# Benchmarks that ReportAllocs also print "X B/op  Y allocs/op";
+	# record both so the gate can catch allocated-bytes regressions (a
+	# reintroduced dense path shows up in memory before it shows up in
+	# time).
+	for (i = 4; i < NF; i++) {
+		if ($(i+1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
+		if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+	}
+	printf "}"
 }
 END {
 	print "\n  ]"
