@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: build test lint bench bench-snapshot ci
+# How long `make fuzz` spends on each format-reader fuzz target.
+FUZZTIME ?= 10s
+FUZZ_TARGETS = FuzzEdgeList FuzzAdjList FuzzJSON FuzzHTCGraph FuzzSniff FuzzTruth
+
+.PHONY: build test lint bench bench-snapshot bench-io bench-gate fuzz ci
 
 build:
 	$(GO) build ./...
@@ -31,11 +35,26 @@ bench-snapshot:
 bench-pipeline:
 	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$'
 
+# Refresh the ingestion baseline: the 1M-edge edge-list parse and the
+# 100k-anchor ID-keyed truth resolution.
+bench-io:
+	./scripts/bench_snapshot.sh BENCH_io.json ./internal/ingest/ 'BenchmarkEdgeList1M$$|BenchmarkTruth100K$$'
+
 # The CI regression gate: re-measure and compare against the checked-in
-# pipeline baseline, failing on a >2x time or >1.5x allocated-bytes
-# regression.
+# pipeline and ingestion baselines, failing on a >2x time or >1.5x
+# allocated-bytes regression.
 bench-gate:
 	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$'
 	./scripts/bench_check.sh BENCH_pipeline.json BENCH_pipeline.ci.json 2.0 1.5
+	./scripts/bench_snapshot.sh BENCH_io.ci.json ./internal/ingest/ 'BenchmarkEdgeList1M$$|BenchmarkTruth100K$$'
+	./scripts/bench_check.sh BENCH_io.json BENCH_io.ci.json 2.0 1.5
 
-ci: lint build test bench bench-gate
+# Short fuzz smoke over every registered format reader plus the sniffer
+# and the truth parser (go test -fuzz accepts one target at a time).
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "== fuzz $$t ($(FUZZTIME)) =="; \
+		$(GO) test ./internal/ingest/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
+ci: lint build test fuzz bench bench-gate

@@ -1,16 +1,22 @@
-// Command htc-align aligns two attributed networks stored in the
-// library's text format and prints the predicted anchor links.
+// Command htc-align aligns two networks stored in any registered graph
+// format and prints the predicted anchor links by node id.
 //
 // Usage:
 //
-//	htc-align -source s.graph -target t.graph [-k 13] [-epochs 60]
+//	htc-align -source s.edges -target t.edges [-format auto|htc-graph|edgelist|json|adjlist]
+//	          [-k 13] [-epochs 60]
 //	          [-variant HTC|HTC-L|HTC-H|HTC-LT|HTC-DT[,more...]] [-seed 1]
 //	          [-truth truth.txt] [-top 1] [-progress]
 //	          [-sim auto|dense|topk] [-topk K]
 //
-// The optional truth file contains one "source target" pair per line and
-// enables precision/MRR evaluation. Graph files are produced by
-// htc-datagen or by htc.WriteGraph.
+// -format selects the input reader; the default sniffs each file by
+// content, so SNAP-style edge lists, JSON GraphSpecs, adjacency lists
+// and the library's own htc-graph format all work unannounced. Node ids
+// are arbitrary strings; predictions are printed as "sourceID targetID".
+//
+// The optional truth file contains one "sourceID targetID" pair per line
+// (the ids of the loaded files — plain indices for htc-graph inputs) and
+// enables precision/MRR evaluation.
 //
 // -variant accepts a comma-separated list: the pair is prepared once and
 // every variant aligns over the shared artifacts (staged API), printing
@@ -25,7 +31,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +47,7 @@ func main() {
 
 	sourcePath := flag.String("source", "", "source graph file (required)")
 	targetPath := flag.String("target", "", "target graph file (required)")
+	format := flag.String("format", "", "input format: htc-graph, edgelist, json, adjlist (default: sniff by content)")
 	k := flag.Int("k", 0, "number of orbits (default 13)")
 	epochs := flag.Int("epochs", 0, "training epochs (default 60)")
 	variant := flag.String("variant", "HTC", "pipeline variant(s), comma-separated: HTC, HTC-L, HTC-H, HTC-LT, HTC-DT")
@@ -67,8 +73,11 @@ func main() {
 	if *topk > 0 && backend == htc.SimilarityAuto {
 		backend = htc.SimilarityTopK
 	}
-	gs := mustReadGraph(*sourcePath)
-	gt := mustReadGraph(*targetPath)
+	pair, err := htc.LoadPair(*sourcePath, *targetPath, htc.LoadOptions{Format: *format})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs, gt := pair.Source, pair.Target
 
 	var variants []htc.Variant
 	for _, name := range strings.Split(*variant, ",") {
@@ -94,7 +103,10 @@ func main() {
 
 	var truth htc.Truth
 	if *truthPath != "" {
-		truth = mustReadTruth(*truthPath, gs.N())
+		truth, err = htc.LoadTruthFile(*truthPath, pair.SourceIDs, pair.TargetIDs)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	for _, v := range variants {
@@ -108,22 +120,23 @@ func main() {
 		if res.CandidateK > 0 {
 			simNote = fmt.Sprintf("%s k=%d", simNote, res.CandidateK)
 		}
-		fmt.Printf("# aligned %d source nodes to %d target nodes (%s, %s)\n", gs.N(), gt.N(), v, simNote)
+		fmt.Printf("# aligned %d source nodes (%s) to %d target nodes (%s) (%s, %s)\n",
+			gs.N(), pair.SourceFormat, gt.N(), pair.TargetFormat, v, simNote)
 		fmt.Printf("# timings: %v\n", res.Timings)
 
 		if *top <= 1 {
-			for s, t := range res.Predict() {
-				fmt.Printf("%d %d\n", s, t)
+			for _, p := range res.PredictNames(pair.SourceIDs, pair.TargetIDs) {
+				fmt.Printf("%s %s\n", p[0], p[1])
 			}
 		} else {
 			// The Sim scan visits candidates best-first, so the sparse
 			// backend prints its top-N without ever touching a dense row.
 			for s := 0; s < gs.N(); s++ {
-				fmt.Printf("%d", s)
+				fmt.Print(pair.SourceIDs.ID(s))
 				printed := 0
 				res.Sim.Scan(s, func(t int, _ float64) {
 					if printed < *top {
-						fmt.Printf(" %d", t)
+						fmt.Printf(" %s", pair.TargetIDs.ID(t))
 						printed++
 					}
 				})
@@ -152,48 +165,4 @@ func progressLogger() htc.Observer {
 			fmt.Fprintf(os.Stderr, "[%s] epoch %d/%d loss=%.4f\n", ev.Stage, ev.Done, ev.Total, ev.Loss)
 		}
 	}
-}
-
-func mustReadGraph(path string) *htc.Graph {
-	f, err := os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	g, err := htc.ReadGraph(f)
-	if err != nil {
-		log.Fatalf("%s: %v", path, err)
-	}
-	return g
-}
-
-func mustReadTruth(path string, n int) htc.Truth {
-	f, err := os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	truth := make(htc.Truth, n)
-	for i := range truth {
-		truth[i] = -1
-	}
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		var s, t int
-		if _, err := fmt.Sscanf(line, "%d %d", &s, &t); err != nil {
-			log.Fatalf("%s: bad line %q", path, line)
-		}
-		if s < 0 || s >= n {
-			log.Fatalf("%s: source %d out of range", path, s)
-		}
-		truth[s] = t
-	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
-	}
-	return truth
 }

@@ -6,11 +6,17 @@
 // Usage:
 //
 //	htc-datagen -dataset allmovie|douban|flickr|econ|bn [-n 0] [-seed 1]
-//	            [-remove 0.2] [-out DIR]
+//	            [-remove 0.2] [-out DIR] [-format htc-graph|edgelist|json|adjlist]
 //	htc-datagen -stats            # print the Table I statistics
 //
 // For econ and bn (single networks), -remove controls the edge-removal
 // ratio used to derive the target, as in the paper's robustness study.
+//
+// -format selects the output writer (default htc-graph). The edgelist
+// format carries no attributes, so it only suits the attribute-free
+// datasets (econ, bn); json and adjlist carry everything. The truth file
+// is written as ID-keyed pairs in every case, consumable by htc-align
+// -truth whatever the graph format.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	htc "github.com/htc-align/htc"
 	"github.com/htc-align/htc/internal/datasets"
 	"github.com/htc-align/htc/internal/experiments"
+	"github.com/htc-align/htc/internal/ingest"
 )
 
 func main() {
@@ -34,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	remove := flag.Float64("remove", 0.2, "edge-removal ratio for econ/bn targets")
 	out := flag.String("out", ".", "output directory")
+	format := flag.String("format", "htc-graph", "output format: htc-graph, edgelist, json, adjlist")
 	stats := flag.Bool("stats", false, "print Table I statistics and exit")
 	flag.Parse()
 
@@ -67,34 +75,35 @@ func main() {
 		log.Fatalf("unknown dataset %q", *dataset)
 	}
 
-	writeGraph(filepath.Join(*out, *dataset+"_source.graph"), pair.Source)
-	writeGraph(filepath.Join(*out, *dataset+"_target.graph"), pair.Target)
-	writeTruth(filepath.Join(*out, *dataset+"_truth.txt"), pair.Truth)
-	fmt.Printf("wrote %s pair: source %v, target %v, %d anchors\n",
-		pair.Name, pair.Source, pair.Target, pair.Truth.NumAnchors())
+	ext := map[string]string{"htc-graph": ".graph", "edgelist": ".edges", "json": ".json", "adjlist": ".adj"}[*format]
+	if ext == "" {
+		log.Fatalf("unknown output format %q (use htc-graph, edgelist, json or adjlist)", *format)
+	}
+	writeGraph(filepath.Join(*out, *dataset+"_source"+ext), pair.Source, *format)
+	writeGraph(filepath.Join(*out, *dataset+"_target"+ext), pair.Target, *format)
+	writeTruth(filepath.Join(*out, *dataset+"_truth.txt"), pair.Truth, pair.Source.N(), pair.Target.N())
+	fmt.Printf("wrote %s pair (%s): source %v, target %v, %d anchors\n",
+		pair.Name, *format, pair.Source, pair.Target, pair.Truth.NumAnchors())
 }
 
-func writeGraph(path string, g *htc.Graph) {
+func writeGraph(path string, g *htc.Graph, format string) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := htc.WriteGraph(f, g); err != nil {
+	if err := htc.WriteGraphAs(f, g, nil, format); err != nil {
 		log.Fatalf("%s: %v", path, err)
 	}
 }
 
-func writeTruth(path string, truth htc.Truth) {
+func writeTruth(path string, truth htc.Truth, ns, nt int) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	fmt.Fprintln(f, "# source target")
-	for s, t := range truth {
-		if t >= 0 {
-			fmt.Fprintf(f, "%d %d\n", s, t)
-		}
+	if err := ingest.WriteTruth(f, truth, ingest.Identity(ns), ingest.Identity(nt)); err != nil {
+		log.Fatalf("%s: %v", path, err)
 	}
 }

@@ -6,6 +6,13 @@
 //	htc-experiments -run table1|table2|table3|fig6|fig7|fig8|fig9|fig10|fig11|all
 //	                [-scale 1.0] [-seed 1] [-epochs 0] [-progress]
 //	                [-sim auto|dense|topk] [-topk K]
+//	htc-experiments -source s.edges -target t.edges [-truth pairs.tsv]
+//	                [-format auto|htc-graph|edgelist|json|adjlist] ...
+//
+// The second form runs the full variant roster on a real dataset loaded
+// through the ingestion API instead of the simulated pairs: -source and
+// -target accept any registered graph format (sniffed by content unless
+// -format names one) and -truth takes ID-keyed anchor pairs.
 //
 // Scale shrinks the datasets proportionally (useful for quick runs);
 // epochs overrides training length (0 = defaults); -progress streams
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	htc "github.com/htc-align/htc"
+	"github.com/htc-align/htc/internal/datasets"
 	"github.com/htc-align/htc/internal/experiments"
 )
 
@@ -42,6 +50,10 @@ func main() {
 	progress := flag.Bool("progress", false, "stream pipeline stage progress to stderr")
 	sim := flag.String("sim", "auto", "HTC similarity backend: auto, dense or topk")
 	topk := flag.Int("topk", 0, "top-k candidate count per node (0 = automatic; implies -sim topk when set)")
+	sourcePath := flag.String("source", "", "custom run: source graph file (any registered format)")
+	targetPath := flag.String("target", "", "custom run: target graph file")
+	format := flag.String("format", "", "custom run: input format (default: sniff by content)")
+	truthPath := flag.String("truth", "", "custom run: ID-keyed ground-truth pairs file")
 	flag.Parse()
 
 	backend, err := htc.ParseSimBackend(*sim)
@@ -59,6 +71,12 @@ func main() {
 		o.Progress = stageLogger()
 	}
 	start := time.Now()
+
+	if *sourcePath != "" || *targetPath != "" {
+		runCustom(*sourcePath, *targetPath, *format, *truthPath, o)
+		fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Second))
+		return
+	}
 
 	var table2Cells []experiments.Cell
 	table2 := func() {
@@ -109,6 +127,28 @@ func fail(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runCustom loads a real dataset through the ingestion API and sweeps
+// the variant roster over it.
+func runCustom(sourcePath, targetPath, format, truthPath string, o experiments.Options) {
+	if sourcePath == "" || targetPath == "" {
+		log.Fatal("custom runs need both -source and -target")
+	}
+	loaded, err := htc.LoadPair(sourcePath, targetPath, htc.LoadOptions{Format: format})
+	fail(err)
+	pair := &datasets.Pair{
+		Name: "custom", Source: loaded.Source, Target: loaded.Target,
+		SourceIDs: loaded.SourceIDs, TargetIDs: loaded.TargetIDs,
+	}
+	if truthPath != "" {
+		truth, err := htc.LoadTruthFile(truthPath, loaded.SourceIDs, loaded.TargetIDs)
+		fail(err)
+		pair.Truth = truth
+	}
+	_, text, err := experiments.Custom(pair, o)
+	fail(err)
+	fmt.Println(text)
 }
 
 // stageLogger returns a progress observer that prints one line per stage

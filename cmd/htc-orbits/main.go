@@ -1,16 +1,22 @@
-// Command htc-orbits counts graphlet orbits for a graph in the library's
-// text format and prints per-edge or per-node signatures — the same role
-// Orca's command-line tool plays in the original paper's toolchain.
+// Command htc-orbits counts graphlet orbits for a graph in any
+// registered format and prints per-edge or per-node signatures keyed by
+// node id — the same role Orca's command-line tool plays in the original
+// paper's toolchain.
 //
 // Usage:
 //
-//	htc-orbits -graph g.graph [-mode edge|node|summary]
+//	htc-orbits -graph g.edges [-format auto|htc-graph|edgelist|json|adjlist]
+//	           [-mode edge|node|summary]
 //
 // Modes:
 //
 //	edge     one line per edge:  u v o0 o1 ... o12
 //	node     one line per node:  v o0 o1 ... o14   (graphlet degree vector)
 //	summary  orbit totals and density, human readable
+//
+// For htc-graph inputs the printed ids are the indices themselves, so
+// existing tooling sees unchanged output; for the named formats the ids
+// are the dataset's own.
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 	log.SetPrefix("htc-orbits: ")
 
 	graphPath := flag.String("graph", "", "graph file (required)")
+	format := flag.String("format", "", "input format: htc-graph, edgelist, json, adjlist (default: sniff by content)")
 	mode := flag.String("mode", "summary", "output mode: edge, node, summary")
 	flag.Parse()
 	if *graphPath == "" {
@@ -35,21 +42,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*graphPath)
+	loaded, err := htc.LoadFile(*graphPath, htc.LoadOptions{Format: *format})
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := htc.ReadGraph(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("%s: %v", *graphPath, err)
-	}
+	g, ids := loaded.Graph, loaded.Nodes
 
 	switch *mode {
 	case "edge":
 		counts := htc.CountEdgeOrbits(g)
 		for i, e := range g.Edges() {
-			fmt.Printf("%d %d", e[0], e[1])
+			fmt.Printf("%s %s", ids.ID(int(e[0])), ids.ID(int(e[1])))
 			for _, c := range counts[i] {
 				fmt.Printf(" %d", c)
 			}
@@ -58,7 +61,7 @@ func main() {
 	case "node":
 		counts := htc.CountNodeOrbits(g)
 		for v, row := range counts {
-			fmt.Printf("%d", v)
+			fmt.Print(ids.ID(v))
 			for _, c := range row {
 				fmt.Printf(" %d", c)
 			}

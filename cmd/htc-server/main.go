@@ -5,19 +5,25 @@
 // Usage:
 //
 //	htc-server [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	           [-prepared-cache N] [-max-nodes N] [-quiet]
+//	           [-prepared-cache N] [-dataset-cache N] [-max-nodes N] [-quiet]
 //
 // Endpoints (see internal/server):
 //
-//	POST   /v1/align      submit a job; body names a dataset or carries
-//	                      two inline edge-list graphs plus a config
-//	POST   /v1/sweep      run a list of configs over one shared prepared
-//	                      pair (stages 1–2 paid once for the whole sweep)
-//	GET    /v1/jobs/{id}  poll status; queue position while waiting, live
-//	                      progress while running, the result once done
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /v1/healthz    liveness and queue occupancy
-//	GET    /v1/metrics    Prometheus text metrics
+//	POST   /v1/align         submit a job; body names a built-in or
+//	                         uploaded dataset, or carries two inline
+//	                         graphs plus a config
+//	POST   /v1/sweep         run a list of configs over one shared prepared
+//	                         pair (stages 1–2 paid once for the whole sweep)
+//	GET    /v1/jobs/{id}     poll status; queue position while waiting, live
+//	                         progress while running, the result once done
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	PUT    /v1/datasets/{id} upload a real dataset in any registered format
+//	                         (edge list, adjacency list, JSON, htc-graph)
+//	GET    /v1/datasets      list built-in and uploaded datasets
+//	GET    /v1/datasets/{id} uploaded dataset metadata
+//	DELETE /v1/datasets/{id} remove an uploaded dataset
+//	GET    /v1/healthz       liveness and queue occupancy
+//	GET    /v1/metrics       Prometheus text metrics
 //
 // Example:
 //
@@ -50,6 +56,7 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "submission backlog capacity (0 = 2×workers)")
 	cacheSize := flag.Int("cache", 128, "result cache capacity in entries")
 	preparedCache := flag.Int("prepared-cache", 8, "prepared-artifact cache capacity in graph pairs")
+	datasetCache := flag.Int("dataset-cache", 16, "uploaded-dataset store capacity in entries")
 	maxNodes := flag.Int("max-nodes", 20000, "per-graph node limit at admission (-1 = unlimited)")
 	quiet := flag.Bool("quiet", false, "suppress per-job logging")
 	flag.Parse()
@@ -59,6 +66,7 @@ func main() {
 		QueueDepth:        *queueDepth,
 		CacheSize:         *cacheSize,
 		PreparedCacheSize: *preparedCache,
+		DatasetCacheSize:  *datasetCache,
 		MaxNodes:          *maxNodes,
 	}
 	if !*quiet {
@@ -96,7 +104,7 @@ func main() {
 	}
 	svc.Close() // cancels outstanding jobs, waits for workers
 	m := svc.Metrics()
-	log.Printf("served %d jobs (%d completed, %d failed, %d cancelled, %d cache hits, %d prepared reuses)",
+	log.Printf("served %d jobs (%d completed, %d failed, %d cancelled, %d cache hits, %d prepared reuses, %d dataset uploads)",
 		m.JobsSubmitted.Load(), m.JobsCompleted.Load(), m.JobsFailed.Load(),
-		m.JobsCancelled.Load(), m.CacheHits.Load(), m.PreparedHits.Load())
+		m.JobsCancelled.Load(), m.CacheHits.Load(), m.PreparedHits.Load(), m.DatasetUploads.Load())
 }

@@ -2,6 +2,8 @@ package htc_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	htc "github.com/htc-align/htc"
 )
@@ -162,6 +164,56 @@ func ExampleAlign_topK() {
 // ExampleCountEdgeOrbits shows the raw higher-order signal HTC builds on:
 // the two edges of the paper's Fig. 5 example are indistinguishable by
 // plain adjacency (orbit 0) but differ on orbits 1 and 4.
+// ExampleLoadPair aligns a SNAP-style edge-list pair end to end: load
+// both files (format sniffed by content), resolve ID-keyed ground truth
+// through the returned NodeMaps, align, and read predictions back by
+// node name.
+func ExampleLoadPair() {
+	dir, err := os.MkdirTemp("", "htc-loadpair")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	// Two copies of the same 10-node network, keyed by different ids.
+	write := func(name, data string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			panic(err)
+		}
+		return path
+	}
+	src := write("source.edges",
+		"a b\na c\nb c\nc d\nd e\ne f\nf g\ng h\nh i\ni j\nd g\nb e\n")
+	tgt := write("target.edges",
+		"x2 x1\nx1 x3\nx2 x3\nx3 x4\nx4 x5\nx5 x6\nx6 x7\nx7 x8\nx8 x9\nx9 x10\nx4 x7\nx2 x5\n")
+	anchors := write("truth.tsv",
+		"a x1\nb x2\nc x3\nd x4\ne x5\nf x6\ng x7\nh x8\ni x9\nj x10\n")
+
+	pair, err := htc.LoadPair(src, tgt, htc.LoadOptions{})
+	if err != nil {
+		panic(err)
+	}
+	truth, err := htc.LoadTruthFile(anchors, pair.SourceIDs, pair.TargetIDs)
+	if err != nil {
+		panic(err)
+	}
+	res, err := htc.Align(pair.Source, pair.Target, htc.Config{K: 4, Hidden: 8, Embed: 4, Epochs: 20, M: 5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	rep := htc.EvaluateSim(res.Sim, truth, 1)
+	fmt.Printf("source format: %s, %d anchors, hits@1 %.2f\n",
+		pair.SourceFormat, rep.Anchors, rep.PrecisionAt[1])
+	for _, p := range res.PredictNames(pair.SourceIDs, pair.TargetIDs)[:3] {
+		fmt.Printf("%s -> %s\n", p[0], p[1])
+	}
+	// Output:
+	// source format: edgelist, 10 anchors, hits@1 1.00
+	// a -> x1
+	// b -> x2
+	// c -> x3
+}
+
 func ExampleCountEdgeOrbits() {
 	b := htc.NewBuilder(5)
 	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 4}} {

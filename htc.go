@@ -34,6 +34,7 @@ import (
 	"github.com/htc-align/htc/internal/datasets"
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/ingest"
 	"github.com/htc-align/htc/internal/metrics"
 	"github.com/htc-align/htc/internal/orbit"
 )
@@ -190,6 +191,73 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 
 // WriteGraph serialises a graph in the library's text format.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// NodeMap is the bidirectional dictionary between a real dataset's
+// external node IDs and the contiguous indices the pipeline runs on.
+// Every Load returns one; LoadTruth and Result.PredictNames consume them.
+type NodeMap = ingest.NodeMap
+
+// LoadOptions tunes dataset loading: format selection (empty = sniff by
+// content), allocation limits for untrusted inputs, and strict edge
+// validation.
+type LoadOptions = ingest.Options
+
+// LoadedGraph is one ingested network: the graph, its ID dictionary and
+// the format that produced it.
+type LoadedGraph = ingest.Loaded
+
+// LoadedPair is a ready-to-align pair of ingested networks.
+type LoadedPair = ingest.Pair
+
+// NodeNamer maps node indices back to external IDs (satisfied by
+// *NodeMap); Result.PredictNames takes two.
+type NodeNamer = core.NodeNamer
+
+// Load reads one network in any registered format ("htc-graph", "json",
+// "adjlist", "edgelist"), sniffing the format when opts.Format is empty,
+// and returns the graph together with its ID↔index NodeMap.
+func Load(r io.Reader, opts LoadOptions) (*LoadedGraph, error) { return ingest.Load(r, opts) }
+
+// LoadFile is Load over a file path.
+func LoadFile(path string, opts LoadOptions) (*LoadedGraph, error) {
+	return ingest.LoadFile(path, opts)
+}
+
+// LoadPair loads a source and target network — the entry point for
+// aligning real datasets:
+//
+//	pair, _ := htc.LoadPair("douban-online.edges", "douban-offline.edges", htc.LoadOptions{})
+//	truth, _ := htc.LoadTruthFile("anchors.tsv", pair.SourceIDs, pair.TargetIDs)
+//	res, _ := htc.Align(pair.Source, pair.Target, htc.Config{})
+//	names := res.PredictNames(pair.SourceIDs, pair.TargetIDs)
+func LoadPair(sourcePath, targetPath string, opts LoadOptions) (*LoadedPair, error) {
+	return ingest.LoadPair(sourcePath, targetPath, opts)
+}
+
+// LoadTruth parses ID-keyed ground truth ("sourceID targetID" lines)
+// through the pair's node maps into the index-keyed Truth the evaluator
+// consumes.
+func LoadTruth(r io.Reader, src, tgt *NodeMap) (Truth, error) { return ingest.ReadTruth(r, src, tgt) }
+
+// LoadTruthFile is LoadTruth over a file path.
+func LoadTruthFile(path string, src, tgt *NodeMap) (Truth, error) {
+	return ingest.ReadTruthFile(path, src, tgt)
+}
+
+// WriteGraphAs serialises a graph (with its ID dictionary) in any
+// registered format that supports writing.
+func WriteGraphAs(w io.Writer, g *Graph, nodes *NodeMap, format string) error {
+	return ingest.Write(w, g, nodes, format)
+}
+
+// Formats lists the registered graph file formats in sniff order.
+func Formats() []string { return ingest.Formats() }
+
+// TruthFromPairs builds an index-keyed Truth map from ID-keyed anchor
+// pairs resolved through two node maps.
+func TruthFromPairs(pairs [][2]string, src, tgt *NodeMap) (Truth, error) {
+	return metrics.TruthFromPairs(pairs, src, tgt)
+}
 
 // Align runs the HTC pipeline (or the configured ablation variant) on a
 // source and target graph and returns the alignment result. It is the

@@ -88,6 +88,31 @@ func (r *Result) Predict() []int {
 	return r.M.ArgmaxRows()
 }
 
+// NodeNamer maps contiguous node indices back to the external IDs a real
+// dataset keys its nodes by; *ingest.NodeMap is the canonical
+// implementation. It lives here as an interface so results can speak
+// names without the core depending on the ingestion layer.
+type NodeNamer interface {
+	// ID returns the external id of node index i.
+	ID(i int) string
+}
+
+// PredictNames renders Predict through the pair's identity dictionaries:
+// one (source id, target id) pair per source node with a prediction.
+// Source nodes without candidates (possible under the top-k backend) are
+// omitted.
+func (r *Result) PredictNames(src, tgt NodeNamer) [][2]string {
+	pred := r.Predict()
+	out := make([][2]string, 0, len(pred))
+	for s, t := range pred {
+		if t < 0 {
+			continue
+		}
+		out = append(out, [2]string{src.ID(s), tgt.ID(t)})
+	}
+	return out
+}
+
 // MatchOneToOne extracts an injective assignment from the alignment
 // scores. Dense runs use the exact Hungarian optimum up to 1500×1500
 // scores and the greedy 1/2-approximation beyond (the O(n³) exact solve

@@ -17,6 +17,7 @@ import (
 
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/ingest"
 	"github.com/htc-align/htc/internal/metrics"
 )
 
@@ -26,6 +27,10 @@ type Pair struct {
 	Name           string
 	Source, Target *graph.Graph
 	Truth          metrics.Truth
+	// SourceIDs/TargetIDs carry the external-ID dictionaries of an
+	// ingested real dataset (nil for the synthetic generators, whose
+	// nodes are their indices).
+	SourceIDs, TargetIDs *ingest.NodeMap
 }
 
 // Stats summarises one network as in the paper's Table I.

@@ -5,11 +5,25 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/sparse"
+)
+
+// Shared edge-validation vocabulary. Every ingestion surface — the
+// Builder, the text reader, the server's GraphSpec and the
+// internal/ingest format readers — classifies a bad edge with these
+// sentinels, so callers can errors.Is uniformly across the stack.
+var (
+	// ErrEdgeRange marks an edge endpoint outside [0, n).
+	ErrEdgeRange = errors.New("graph: edge endpoint out of range")
+	// ErrSelfLoop marks an edge joining a node to itself.
+	ErrSelfLoop = errors.New("graph: self-loop edge")
+	// ErrDupEdge marks an edge that was already recorded.
+	ErrDupEdge = errors.New("graph: duplicate edge")
 )
 
 // Graph is an immutable undirected graph with optional node attributes.
@@ -61,6 +75,42 @@ func (b *Builder) AddEdge(u, v int) bool {
 	}
 	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
 	return true
+}
+
+// Add records the undirected edge (u, v) like AddEdge, but validates
+// instead of panicking: out-of-range endpoints return an error wrapping
+// ErrEdgeRange. Self-loops and duplicate edges are skipped silently —
+// the uniform tolerant-ingestion policy shared by every reader (real
+// edge lists are full of both). Strict callers use AddStrict.
+func (b *Builder) Add(u, v int) error {
+	if err := b.checkRange(u, v); err != nil {
+		return err
+	}
+	b.AddEdge(u, v)
+	return nil
+}
+
+// AddStrict records the undirected edge (u, v), rejecting out-of-range
+// endpoints, self-loops and duplicates with the shared sentinel errors.
+func (b *Builder) AddStrict(u, v int) error {
+	if err := b.checkRange(u, v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("edge (%d,%d): %w", u, v, ErrSelfLoop)
+	}
+	if b.HasEdge(u, v) {
+		return fmt.Errorf("edge (%d,%d): %w", u, v, ErrDupEdge)
+	}
+	b.AddEdge(u, v)
+	return nil
+}
+
+func (b *Builder) checkRange(u, v int) error {
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return fmt.Errorf("edge (%d,%d) outside [0,%d): %w", u, v, b.n, ErrEdgeRange)
+	}
+	return nil
 }
 
 // HasEdge reports whether (u, v) has been added to the builder.

@@ -57,8 +57,40 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Read parses a graph in the package's text format.
-func Read(r io.Reader) (*Graph, error) {
+// Limits bounds what a reader is willing to allocate before it has seen
+// the data backing a header's claims; the zero value means unlimited. A
+// malicious "htc-graph 999999999999 0 0" header would otherwise commit
+// gigabytes on the strength of a 30-byte file.
+type Limits struct {
+	MaxNodes   int // largest accepted node count (0 = unlimited)
+	MaxEdges   int // largest accepted edge count (0 = unlimited)
+	MaxAttrDim int // largest accepted attribute dimension (0 = unlimited)
+	// Strict rejects self-loop and duplicate edge lines (with
+	// ErrSelfLoop / ErrDupEdge) instead of skipping them.
+	Strict bool
+}
+
+// check validates a header's claimed sizes against the limits.
+func (l Limits) check(n, m, d int) error {
+	if l.MaxNodes > 0 && n > l.MaxNodes {
+		return fmt.Errorf("graph: header claims %d nodes, limit is %d", n, l.MaxNodes)
+	}
+	if l.MaxEdges > 0 && m > l.MaxEdges {
+		return fmt.Errorf("graph: header claims %d edges, limit is %d", m, l.MaxEdges)
+	}
+	if l.MaxAttrDim > 0 && d > l.MaxAttrDim {
+		return fmt.Errorf("graph: header claims %d attribute dims, limit is %d", d, l.MaxAttrDim)
+	}
+	return nil
+}
+
+// Read parses a graph in the package's text format with no size limits.
+func Read(r io.Reader) (*Graph, error) { return ReadLimited(r, Limits{}) }
+
+// ReadLimited parses a graph in the package's text format, rejecting
+// inputs whose header claims sizes beyond the given limits before any
+// proportional allocation happens.
+func ReadLimited(r io.Reader, lim Limits) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	header, err := nextLine(sc)
@@ -75,20 +107,31 @@ func Read(r io.Reader) (*Graph, error) {
 	if err1 != nil || err2 != nil || err3 != nil || n < 0 || m < 0 || d < 0 {
 		return nil, fmt.Errorf("graph: bad header %q", header)
 	}
+	if err := lim.check(n, m, d); err != nil {
+		return nil, err
+	}
 	b := NewBuilder(n)
 	for i := 0; i < m; i++ {
 		line, err := nextLine(sc)
 		if err != nil {
 			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
 		}
-		var u, v int
-		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
-			return nil, fmt.Errorf("graph: edge %d: bad line %q", i, line)
+		toks := strings.Fields(line)
+		if len(toks) != 2 {
+			return nil, fmt.Errorf("graph: edge %d: bad line %q (want \"u v\")", i, line)
 		}
-		if u < 0 || v < 0 || u >= n || v >= n {
-			return nil, fmt.Errorf("graph: edge %d: node out of range in %q", i, line)
+		u, err1 := strconv.Atoi(toks[0])
+		v, err2 := strconv.Atoi(toks[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: edge %d: bad line %q (want \"u v\")", i, line)
 		}
-		b.AddEdge(u, v)
+		add := b.Add
+		if lim.Strict {
+			add = b.AddStrict
+		}
+		if err := add(u, v); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
 	}
 	g := b.Build()
 	if d > 0 {

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// trickyFloats are attribute values whose text formatting is easy to get
+// wrong: shortest-representation corner cases, subnormals, signed zero,
+// extreme magnitudes and infinities. NaN is excluded — it never compares
+// equal and the pipeline rejects it at validation anyway.
+var trickyFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.1, 1.0 / 3.0, 2.0 / 3.0,
+	math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	-math.SmallestNonzeroFloat64, 1e-308, 5e-324, 1e308, 1e-15,
+	math.Pi, math.Nextafter(1, 2), math.Nextafter(1, 0),
+	math.Inf(1), math.Inf(-1), 123456789.123456789, 1e17 + 1,
+}
+
+// randomGraph draws an attributed graph: node count, edge density and
+// attribute dimension all vary, and attribute values mix tricky constants
+// with uniform draws.
+func randomGraph(rng *rand.Rand) *Graph {
+	n := rng.Intn(41) // 0..40 nodes
+	b := NewBuilder(n)
+	if n > 1 {
+		m := rng.Intn(2 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n)) // self-loops/dups ignored
+		}
+	}
+	g := b.Build()
+	d := rng.Intn(5) // 0..4 attribute dims; 0 means no attrs
+	if d == 0 {
+		return g
+	}
+	attrs := dense.New(n, d)
+	for i := 0; i < n; i++ {
+		row := attrs.Row(i)
+		for j := range row {
+			if rng.Intn(2) == 0 {
+				row[j] = trickyFloats[rng.Intn(len(trickyFloats))]
+			} else {
+				row[j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(40)-20))
+			}
+		}
+	}
+	return g.WithAttrs(attrs)
+}
+
+// TestWriteReadRoundTrip is the property test of the Write/Read pair:
+// over random attributed graphs nothing may drift — node count, the exact
+// edge set, and every attribute bit (signed zero included, which plain ==
+// would miss).
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		g := randomGraph(rng)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v\n%s", trial, err, buf.String())
+		}
+		if got.N() != g.N() || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: got n=%d e=%d, want n=%d e=%d",
+				trial, got.N(), got.NumEdges(), g.N(), g.NumEdges())
+		}
+		for i, e := range g.Edges() {
+			if got.Edges()[i] != e {
+				t.Fatalf("trial %d: edge %d drifted: got %v want %v", trial, i, got.Edges()[i], e)
+			}
+		}
+		wantAttrs, gotAttrs := g.Attrs(), got.Attrs()
+		if (wantAttrs == nil) != (gotAttrs == nil) {
+			t.Fatalf("trial %d: attrs presence drifted: got %v want %v", trial, gotAttrs, wantAttrs)
+		}
+		if wantAttrs == nil {
+			continue
+		}
+		if gotAttrs.Rows != wantAttrs.Rows || gotAttrs.Cols != wantAttrs.Cols {
+			t.Fatalf("trial %d: attrs shape drifted: got %dx%d want %dx%d",
+				trial, gotAttrs.Rows, gotAttrs.Cols, wantAttrs.Rows, wantAttrs.Cols)
+		}
+		for i := 0; i < wantAttrs.Rows; i++ {
+			for j, w := range wantAttrs.Row(i) {
+				if math.Float64bits(gotAttrs.Row(i)[j]) != math.Float64bits(w) {
+					t.Fatalf("trial %d: attr[%d][%d] drifted: got %x want %x (%v vs %v)",
+						trial, i, j, math.Float64bits(gotAttrs.Row(i)[j]), math.Float64bits(w),
+						gotAttrs.Row(i)[j], w)
+				}
+			}
+		}
+	}
+}
+
+// TestReadRejectsMalformedEdges locks the strict edge-line grammar: the
+// old Sscanf-based parser silently accepted trailing tokens, which the
+// round-trip property can never produce.
+func TestReadRejectsMalformedEdges(t *testing.T) {
+	for _, in := range []string{
+		"htc-graph 3 1 0\n0 1 junk\n",
+		"htc-graph 3 1 0\n0 1 2\n",
+		"htc-graph 3 1 0\n0\n",
+		"htc-graph 3 1 0\n0 x\n",
+	} {
+		if _, err := Read(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("Read(%q) accepted a malformed edge line", in)
+		}
+	}
+}
+
+// TestReadLimited locks the allocation guard: header claims beyond the
+// limits must fail before the reader commits memory.
+func TestReadLimited(t *testing.T) {
+	cases := []struct {
+		in  string
+		lim Limits
+	}{
+		{"htc-graph 1000000000000 0 0\n", Limits{MaxNodes: 100}},
+		{"htc-graph 10 999999999 0\n", Limits{MaxEdges: 100}},
+		{"htc-graph 10 0 123456789\n", Limits{MaxAttrDim: 16}},
+	}
+	for _, c := range cases {
+		if _, err := ReadLimited(bytes.NewReader([]byte(c.in)), c.lim); err == nil {
+			t.Errorf("ReadLimited(%q, %+v) accepted an oversized header", c.in, c.lim)
+		}
+	}
+	// Within limits the reader behaves exactly like Read.
+	g, err := ReadLimited(bytes.NewReader([]byte("htc-graph 3 1 0\n0 2\n")), Limits{MaxNodes: 3, MaxEdges: 1})
+	if err != nil || g.N() != 3 || g.NumEdges() != 1 {
+		t.Fatalf("ReadLimited in-bounds parse failed: %v %v", g, err)
+	}
+}

@@ -1,0 +1,67 @@
+package ingest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildEdgeList renders a random m-edge SNAP-style edge list over
+// string-keyed nodes, the workload of BENCH_io.json.
+func buildEdgeList(n, m int) string {
+	rng := rand.New(rand.NewSource(11))
+	var sb strings.Builder
+	sb.Grow(m * 16)
+	sb.WriteString("# synthetic benchmark edge list\n")
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&sb, "v%d v%d\n", rng.Intn(i), i)
+	}
+	for i := n - 1; i < m; i++ {
+		fmt.Fprintf(&sb, "v%d v%d\n", rng.Intn(n), rng.Intn(n))
+	}
+	return sb.String()
+}
+
+// BenchmarkEdgeList1M measures the streaming edge-list reader on a
+// 1M-edge, 100k-node input — the ingestion hot path for real SNAP-scale
+// datasets. Snapshotted into BENCH_io.json and gated by bench_check.sh.
+func BenchmarkEdgeList1M(b *testing.B) {
+	in := buildEdgeList(100_000, 1_000_000)
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := Load(strings.NewReader(in), Options{Format: "edgelist"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if loaded.Graph.N() != 100_000 {
+			b.Fatalf("parsed %d nodes", loaded.Graph.N())
+		}
+	}
+}
+
+// BenchmarkTruth100K measures ID-keyed ground-truth resolution.
+func BenchmarkTruth100K(b *testing.B) {
+	const n = 100_000
+	nodes := NewNodeMap()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		nodes.Intern(fmt.Sprintf("v%d", i))
+		fmt.Fprintf(&sb, "v%d v%d\n", i, i)
+	}
+	in := sb.String()
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		truth, err := ReadTruth(strings.NewReader(in), nodes, nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if truth.NumAnchors() != n {
+			b.Fatal("anchors lost")
+		}
+	}
+}

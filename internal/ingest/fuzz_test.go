@@ -1,0 +1,118 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzOpts caps what a fuzzed reader may allocate, mirroring how a server
+// ingests untrusted uploads. Within these caps a reader must either parse
+// or error — never panic, never allocate past the caps on the strength of
+// unbacked header claims.
+var fuzzOpts = Options{MaxNodes: 1 << 12, MaxEdges: 1 << 14, MaxAttrDim: 64}
+
+// fuzzFormat is the shared fuzz body: parse tolerantly and strictly, and
+// when a parse succeeds check the graph/NodeMap invariants.
+func fuzzFormat(t *testing.T, format string, data []byte) {
+	t.Helper()
+	for _, strict := range []bool{false, true} {
+		opts := fuzzOpts
+		opts.Format = format
+		opts.Strict = strict
+		loaded, err := Load(strings.NewReader(string(data)), opts)
+		if err != nil {
+			continue
+		}
+		g, nodes := loaded.Graph, loaded.Nodes
+		if g.N() != nodes.Len() {
+			t.Fatalf("%s (strict=%v): graph has %d nodes but map has %d", format, strict, g.N(), nodes.Len())
+		}
+		if opts.MaxNodes > 0 && g.N() > opts.MaxNodes {
+			t.Fatalf("%s: %d nodes exceeds the cap %d", format, g.N(), opts.MaxNodes)
+		}
+		if opts.MaxEdges > 0 && g.NumEdges() > opts.MaxEdges {
+			t.Fatalf("%s: %d edges exceeds the cap %d", format, g.NumEdges(), opts.MaxEdges)
+		}
+		for i := 0; i < g.N(); i++ {
+			idx, ok := nodes.Index(nodes.ID(i))
+			if !ok || idx != i {
+				t.Fatalf("%s: node map not bijective at %d (%q → %d, %v)", format, i, nodes.ID(i), idx, ok)
+			}
+		}
+	}
+}
+
+// seedCorpus adds the checked-in fixture of a format plus shared
+// adversarial snippets.
+func seedCorpus(f *testing.F, fixture string, extra ...string) {
+	if blob, err := os.ReadFile(filepath.Join("testdata", fixture)); err == nil {
+		f.Add(blob)
+	}
+	for _, s := range extra {
+		f.Add([]byte(s))
+	}
+}
+
+func FuzzEdgeList(f *testing.F) {
+	seedCorpus(f, "sample.edgelist",
+		"a b\nb c\n", "a,b\n", "a a\n", "x\ty\n", "# c\n\n1 2\n", strings.Repeat("a b\n", 50))
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzFormat(t, "edgelist", data) })
+}
+
+func FuzzAdjList(f *testing.F) {
+	seedCorpus(f, "sample.adjlist",
+		"a: b c\n", "a: b | 1 2\nb: | 3 4\n", "a:\n", "a: a\n", ": b\n", "a: b | x\n")
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzFormat(t, "adjlist", data) })
+}
+
+func FuzzJSON(f *testing.F) {
+	seedCorpus(f, "sample.json",
+		`{"nodes": 2, "edges": [[0,1]]}`,
+		`{"nodes": 999999999999, "edges": []}`,
+		`{"nodes": 1, "edges": [], "attrs": [[1.5]]}`,
+		`{"nodes": 2, "edges": [[0,1]], "ids": ["a","b"]}`)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzFormat(t, "json", data) })
+}
+
+func FuzzHTCGraph(f *testing.F) {
+	seedCorpus(f, "sample.htc-graph",
+		"htc-graph 2 1 0\n0 1\n",
+		"htc-graph 999999999999 0 0\n",
+		"htc-graph 2 1 2\n0 1\n0.5 1\n1 2\n",
+		"htc-graph 1 0 123456789\n")
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzFormat(t, "htc-graph", data) })
+}
+
+// FuzzSniff drives the whole sniff-then-parse path, the exact surface an
+// upload endpoint exposes.
+func FuzzSniff(f *testing.F) {
+	seedCorpus(f, "sample.edgelist")
+	seedCorpus(f, "sample.adjlist")
+	seedCorpus(f, "sample.json")
+	seedCorpus(f, "sample.htc-graph")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(strings.NewReader(string(data)), fuzzOpts)
+		if err == nil && loaded.Graph.N() != loaded.Nodes.Len() {
+			t.Fatalf("sniffed %s: node map size mismatch", loaded.Format)
+		}
+	})
+}
+
+// FuzzTruth hardens the ground-truth parser against the same classes of
+// malformed input.
+func FuzzTruth(f *testing.F) {
+	seedCorpus(f, "sample.truth", "a x\n", "a\n", "a x y\n", "a,x\n")
+	src := NewNodeMap()
+	src.Intern("a")
+	src.Intern("alice")
+	src.Intern("bob")
+	tgt := Identity(4)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		truth, err := ReadTruth(strings.NewReader(string(data)), src, tgt)
+		if err == nil && len(truth) != src.Len() {
+			t.Fatalf("truth has %d rows for %d sources", len(truth), src.Len())
+		}
+	})
+}

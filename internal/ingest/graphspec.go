@@ -1,0 +1,112 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/graph"
+)
+
+// GraphSpec is the JSON graph document shared by the ingest "json" format
+// and the alignment server's inline request bodies: an edge list over
+// nodes 0..Nodes−1, an optional attribute matrix (one row per node), and
+// an optional index-ordered id list naming the nodes. Self-loops and
+// duplicate edges are skipped, out-of-range endpoints are errors —
+// graph.Builder's uniform validation policy.
+type GraphSpec struct {
+	Nodes int         `json:"nodes"`
+	Edges [][2]int    `json:"edges"`
+	Attrs [][]float64 `json:"attrs,omitempty"`
+	// IDs optionally names node i IDs[i]; when present it must list
+	// exactly Nodes distinct non-empty ids.
+	IDs []string `json:"ids,omitempty"`
+}
+
+// Build validates the spec and constructs the immutable graph. maxNodes
+// bounds admission (0 = unlimited).
+func (g *GraphSpec) Build(maxNodes int) (*graph.Graph, error) {
+	return g.build(maxNodes, 0, false)
+}
+
+func (g *GraphSpec) build(maxNodes, maxAttrDim int, strict bool) (*graph.Graph, error) {
+	if g.Nodes <= 0 {
+		return nil, fmt.Errorf("graph needs a positive node count, got %d", g.Nodes)
+	}
+	if maxNodes > 0 && g.Nodes > maxNodes {
+		return nil, fmt.Errorf("graph has %d nodes, limit is %d", g.Nodes, maxNodes)
+	}
+	if len(g.IDs) > 0 && len(g.IDs) != g.Nodes {
+		return nil, fmt.Errorf("ids list has %d entries for %d nodes", len(g.IDs), g.Nodes)
+	}
+	b := graph.NewBuilder(g.Nodes)
+	for i, e := range g.Edges {
+		var err error
+		if strict {
+			err = b.AddStrict(e[0], e[1])
+		} else {
+			err = b.Add(e[0], e[1])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	built := b.Build()
+	if len(g.Attrs) == 0 {
+		return built, nil
+	}
+	if len(g.Attrs) != g.Nodes {
+		return nil, fmt.Errorf("attrs have %d rows for %d nodes", len(g.Attrs), g.Nodes)
+	}
+	cols := len(g.Attrs[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("attrs rows must be non-empty")
+	}
+	if maxAttrDim > 0 && cols > maxAttrDim {
+		return nil, fmt.Errorf("attrs have %d dims, limit is %d", cols, maxAttrDim)
+	}
+	x := dense.New(g.Nodes, cols)
+	for i, row := range g.Attrs {
+		if len(row) != cols {
+			return nil, fmt.Errorf("attrs row %d has %d values, want %d", i, len(row), cols)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("attrs[%d][%d] is not finite", i, j)
+			}
+		}
+		copy(x.Row(i), row)
+	}
+	return built.WithAttrs(x), nil
+}
+
+// nodeMap returns the spec's id dictionary: FromIDs when the spec names
+// its nodes, the identity otherwise.
+func (g *GraphSpec) nodeMap() (*NodeMap, error) {
+	if len(g.IDs) == 0 {
+		return Identity(g.Nodes), nil
+	}
+	return FromIDs(g.IDs)
+}
+
+// NodeMap returns the spec's validated id dictionary.
+func (g *GraphSpec) NodeMap() (*NodeMap, error) { return g.nodeMap() }
+
+// SpecFromGraph renders a built graph (and its id dictionary) back into
+// the JSON document form.
+func SpecFromGraph(g *graph.Graph, nodes *NodeMap) *GraphSpec {
+	spec := &GraphSpec{Nodes: g.N(), Edges: make([][2]int, 0, g.NumEdges())}
+	for _, e := range g.Edges() {
+		spec.Edges = append(spec.Edges, [2]int{int(e[0]), int(e[1])})
+	}
+	if attrs := g.Attrs(); attrs != nil && attrs.Cols > 0 {
+		spec.Attrs = make([][]float64, attrs.Rows)
+		for i := range spec.Attrs {
+			spec.Attrs[i] = append([]float64(nil), attrs.Row(i)...)
+		}
+	}
+	if nodes != nil && !nodes.IsIdentity() {
+		spec.IDs = nodes.IDs()
+	}
+	return spec
+}

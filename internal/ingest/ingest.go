@@ -1,0 +1,344 @@
+// Package ingest loads real-world network files into the contiguous
+// int-indexed graphs the HTC pipeline consumes. It is the identity layer
+// of the stack: real datasets (SNAP edge lists, adjacency dumps, JSON
+// specs) key their nodes by external string IDs, while everything
+// downstream — orbit counting, training, matching, evaluation — speaks
+// dense indices. Every reader therefore returns the graph *and* a
+// NodeMap, the bidirectional ID↔index dictionary that lets callers load
+// ground truth by name and read predictions back by name.
+//
+// Formats are pluggable: each implements Format, registers itself, and
+// participates in content sniffing (DetectFormat), so callers can say
+// "load this file" without naming a format at all. The built-in roster:
+//
+//	htc-graph   the library's own text format (ids are the indices)
+//	json        a GraphSpec document, optionally carrying node ids
+//	adjlist     adjacency lists with optional attributes ("id: n1 n2 | a0 a1")
+//	edgelist    SNAP-style whitespace/CSV pairs of arbitrary string ids
+//
+// Readers are streaming and hardened: Options bounds what a reader will
+// allocate before the data justifies it, malformed input always returns
+// an error (never a panic), and edge validation shares the graph
+// package's sentinel vocabulary (graph.ErrEdgeRange, graph.ErrSelfLoop,
+// graph.ErrDupEdge) across every format.
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/htc-align/htc/internal/graph"
+)
+
+// sniffLen is how many leading bytes DetectFormat inspects.
+const sniffLen = 4096
+
+// maxLineBytes bounds a single input line; a "line" beyond this is far
+// more likely a binary blob or an attack than a graph, and erroring beats
+// buffering it whole.
+const maxLineBytes = 1 << 22
+
+// NodeMap is the bidirectional dictionary between external node IDs and
+// the contiguous indices 0..n−1 the pipeline runs on. The zero-cost
+// special case is the identity map (Identity), where node i's ID is
+// simply the decimal string of i — the htc-graph and plain-JSON formats
+// use it so million-node index-keyed files don't pay for a string table.
+type NodeMap struct {
+	n   int            // identity domain size when ids == nil
+	ids []string       // index → id (nil for identity maps)
+	idx map[string]int // id → index (nil for identity maps)
+}
+
+// NewNodeMap returns an empty map ready to Intern ids.
+func NewNodeMap() *NodeMap {
+	return &NodeMap{ids: []string{}, idx: make(map[string]int)}
+}
+
+// Identity returns the identity map on n nodes: ID(i) = "i".
+func Identity(n int) *NodeMap { return &NodeMap{n: n} }
+
+// FromIDs builds a map from an explicit index-ordered id list, rejecting
+// empty and duplicate ids.
+func FromIDs(ids []string) (*NodeMap, error) {
+	m := NewNodeMap()
+	for i, id := range ids {
+		if id == "" {
+			return nil, fmt.Errorf("ingest: node %d has an empty id", i)
+		}
+		if _, dup := m.idx[id]; dup {
+			return nil, fmt.Errorf("ingest: duplicate node id %q", id)
+		}
+		m.idx[id] = i
+		m.ids = append(m.ids, id)
+	}
+	return m, nil
+}
+
+// IsIdentity reports whether the map is an identity map (ids are the
+// decimal indices themselves).
+func (m *NodeMap) IsIdentity() bool { return m.ids == nil }
+
+// Len returns the number of mapped nodes.
+func (m *NodeMap) Len() int {
+	if m.ids == nil {
+		return m.n
+	}
+	return len(m.ids)
+}
+
+// Intern returns the index of id, assigning the next free index on first
+// sight. It must not be called on an identity map.
+func (m *NodeMap) Intern(id string) int {
+	if i, ok := m.idx[id]; ok {
+		return i
+	}
+	i := len(m.ids)
+	m.idx[id] = i
+	m.ids = append(m.ids, id)
+	return i
+}
+
+// internBytes is Intern for a byte token: the map lookup with a
+// string-converted key compiles allocation-free, so re-seeing a known id
+// (the overwhelmingly common case in a long edge list) costs nothing.
+func (m *NodeMap) internBytes(tok []byte) int {
+	if i, ok := m.idx[string(tok)]; ok {
+		return i
+	}
+	id := string(tok)
+	i := len(m.ids)
+	m.idx[id] = i
+	m.ids = append(m.ids, id)
+	return i
+}
+
+// Index resolves an external id to its index. On identity maps the id is
+// parsed as a decimal index and checked against the domain.
+func (m *NodeMap) Index(id string) (int, bool) {
+	if m.ids == nil {
+		i, err := strconv.Atoi(id)
+		if err != nil || i < 0 || i >= m.n {
+			return 0, false
+		}
+		return i, true
+	}
+	i, ok := m.idx[id]
+	return i, ok
+}
+
+// ID returns the external id of index i. It panics when i is outside the
+// mapped domain, mirroring slice indexing.
+func (m *NodeMap) ID(i int) string {
+	if m.ids == nil {
+		if i < 0 || i >= m.n {
+			panic(fmt.Sprintf("ingest: index %d outside identity domain [0,%d)", i, m.n))
+		}
+		return strconv.Itoa(i)
+	}
+	return m.ids[i]
+}
+
+// IDs returns the index-ordered id list (materialised for identity maps).
+func (m *NodeMap) IDs() []string {
+	if m.ids == nil {
+		out := make([]string, m.n)
+		for i := range out {
+			out[i] = strconv.Itoa(i)
+		}
+		return out
+	}
+	return append([]string(nil), m.ids...)
+}
+
+// Options tunes a load. The zero value sniffs the format and accepts
+// inputs of any size.
+type Options struct {
+	// Format names the reader to use; empty means sniff via DetectFormat.
+	Format string
+	// MaxNodes, MaxEdges and MaxAttrDim bound what a reader will
+	// allocate (0 = unlimited). Servers ingesting untrusted uploads set
+	// them so a 30-byte header cannot commit gigabytes.
+	MaxNodes   int
+	MaxEdges   int
+	MaxAttrDim int
+	// Strict promotes skipped input — self-loops and (for the formats
+	// where a repeat is not inherent, i.e. everything but adjlist)
+	// duplicate edges — into errors wrapping graph.ErrSelfLoop /
+	// graph.ErrDupEdge.
+	Strict bool
+}
+
+// Loaded is one ingested network: the contiguous-index graph, the
+// ID↔index dictionary, and the format that produced them.
+type Loaded struct {
+	Graph  *graph.Graph
+	Nodes  *NodeMap
+	Format string
+}
+
+// Pair is a ready-to-align loaded graph pair with both identity
+// dictionaries.
+type Pair struct {
+	Source, Target             *graph.Graph
+	SourceIDs, TargetIDs       *NodeMap
+	SourceFormat, TargetFormat string
+}
+
+// Format is one pluggable graph file format.
+type Format interface {
+	// Name is the registry key ("edgelist", "json", ...).
+	Name() string
+	// Detect reports whether head — the first bytes of an input — looks
+	// like this format.
+	Detect(head []byte) bool
+	// Read parses one graph from r under the given options.
+	Read(r io.Reader, opts Options) (*Loaded, error)
+}
+
+// GraphWriter is the optional write capability of a Format.
+type GraphWriter interface {
+	Format
+	// Write serialises g (with its id dictionary) in this format.
+	Write(w io.Writer, g *graph.Graph, nodes *NodeMap) error
+}
+
+// registry holds the formats in sniff order: most self-identifying first,
+// the permissive edge list last.
+var registry []Format
+
+// Register appends a format to the registry. Built-ins register at init;
+// external callers may add their own before loading.
+func Register(f Format) { registry = append(registry, f) }
+
+// Formats returns the registered format names in sniff order.
+func Formats() []string {
+	names := make([]string, len(registry))
+	for i, f := range registry {
+		names[i] = f.Name()
+	}
+	return names
+}
+
+// Lookup resolves a format name (case-insensitive).
+func Lookup(name string) (Format, error) {
+	for _, f := range registry {
+		if strings.EqualFold(f.Name(), name) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("ingest: unknown format %q (registered: %s)", name, strings.Join(Formats(), ", "))
+}
+
+// DetectFormat sniffs the format of an input from its leading bytes.
+func DetectFormat(head []byte) (Format, error) {
+	for _, f := range registry {
+		if f.Detect(head) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("ingest: unrecognised graph format (registered: %s)", strings.Join(Formats(), ", "))
+}
+
+// Load reads one graph from r, sniffing the format unless opts.Format
+// names one.
+func Load(r io.Reader, opts Options) (*Loaded, error) {
+	br := bufio.NewReaderSize(r, sniffLen)
+	var f Format
+	if opts.Format != "" {
+		var err error
+		if f, err = Lookup(opts.Format); err != nil {
+			return nil, err
+		}
+	} else {
+		head, err := br.Peek(sniffLen)
+		if len(head) == 0 && err != nil && err != io.EOF {
+			return nil, fmt.Errorf("ingest: %w", err)
+		}
+		if f, err = DetectFormat(head); err != nil {
+			return nil, err
+		}
+	}
+	loaded, err := f.Read(br, opts)
+	if err != nil {
+		return nil, err
+	}
+	loaded.Format = f.Name()
+	return loaded, nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string, opts Options) (*Loaded, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	loaded, err := Load(file, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return loaded, nil
+}
+
+// LoadPair loads a source and target network under one set of options —
+// the usual entry point for aligning real datasets.
+func LoadPair(sourcePath, targetPath string, opts Options) (*Pair, error) {
+	src, err := LoadFile(sourcePath, opts)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := LoadFile(targetPath, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{
+		Source: src.Graph, Target: tgt.Graph,
+		SourceIDs: src.Nodes, TargetIDs: tgt.Nodes,
+		SourceFormat: src.Format, TargetFormat: tgt.Format,
+	}, nil
+}
+
+// Write serialises a graph in the named format, which must support
+// writing.
+func Write(w io.Writer, g *graph.Graph, nodes *NodeMap, format string) error {
+	f, err := Lookup(format)
+	if err != nil {
+		return err
+	}
+	gw, ok := f.(GraphWriter)
+	if !ok {
+		return fmt.Errorf("ingest: format %q does not support writing", f.Name())
+	}
+	return gw.Write(w, g, nodes)
+}
+
+// isComment reports whether a trimmed line is a comment under the shared
+// line grammar (# and % both mark comments; SNAP uses the former, many
+// Matrix Market-adjacent dumps the latter).
+func isComment(line string) bool {
+	return strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%")
+}
+
+// splitFields tokenises a data line: CSV when a comma is present,
+// whitespace otherwise.
+func splitFields(line string) []string {
+	if strings.Contains(line, ",") {
+		parts := strings.Split(line, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts
+	}
+	return strings.Fields(line)
+}
+
+// newScanner builds a line scanner with the shared per-line size cap.
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), maxLineBytes)
+	return sc
+}

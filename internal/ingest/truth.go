@@ -1,0 +1,75 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/htc-align/htc/internal/metrics"
+)
+
+// ReadTruth parses ID-keyed ground truth — one "sourceID targetID" pair
+// per line, whitespace or comma separated, with #/% comments — and
+// resolves it through the pair's node maps into the index-keyed Truth the
+// evaluator consumes. Unknown ids and conflicting duplicate pairs are
+// errors; source nodes never mentioned stay at −1 ("no anchor"), matching
+// partially aligned datasets.
+func ReadTruth(r io.Reader, src, tgt *NodeMap) (metrics.Truth, error) {
+	sc := newScanner(r)
+	var pairs [][2]string
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || isComment(line) {
+			continue
+		}
+		toks := splitFields(line)
+		if len(toks) != 2 {
+			return nil, fmt.Errorf("ingest: truth line %d: want 2 fields, got %d in %q", lineno, len(toks), line)
+		}
+		pairs = append(pairs, [2]string{toks[0], toks[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ingest: truth line %d: %w", lineno+1, err)
+	}
+	truth, err := metrics.TruthFromPairs(pairs, src, tgt)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: truth: %w", err)
+	}
+	return truth, nil
+}
+
+// ReadTruthFile is ReadTruth over a file path.
+func ReadTruthFile(path string, src, tgt *NodeMap) (metrics.Truth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	truth, err := ReadTruth(f, src, tgt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return truth, nil
+}
+
+// WriteTruth renders an index-keyed truth map back into the ID-keyed pair
+// format, one line per known anchor.
+func WriteTruth(w io.Writer, truth metrics.Truth, src, tgt *NodeMap) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# source target"); err != nil {
+		return err
+	}
+	for s, t := range truth {
+		if t < 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", src.ID(s), tgt.ID(t)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -23,6 +23,44 @@ func FromPerm(perm []int) Truth {
 	return t
 }
 
+// NodeIndexer resolves external node IDs to contiguous indices —
+// *ingest.NodeMap is the canonical implementation. It lives here as an
+// interface so evaluation can be name-keyed without this package
+// depending on the ingestion layer.
+type NodeIndexer interface {
+	// Index returns the index of id and whether it exists.
+	Index(id string) (int, bool)
+	// Len is the number of mapped nodes.
+	Len() int
+}
+
+// TruthFromPairs builds an index-keyed Truth map from ID-keyed anchor
+// pairs (sourceID, targetID), resolved through the two node maps.
+// Unknown ids are errors, as is a source appearing twice with different
+// targets; an exact repeat is tolerated. Sources never mentioned stay at
+// −1.
+func TruthFromPairs(pairs [][2]string, src, tgt NodeIndexer) (Truth, error) {
+	truth := make(Truth, src.Len())
+	for i := range truth {
+		truth[i] = -1
+	}
+	for _, p := range pairs {
+		s, ok := src.Index(p[0])
+		if !ok {
+			return nil, fmt.Errorf("metrics: unknown source node %q in ground truth", p[0])
+		}
+		t, ok := tgt.Index(p[1])
+		if !ok {
+			return nil, fmt.Errorf("metrics: unknown target node %q in ground truth", p[1])
+		}
+		if truth[s] >= 0 && truth[s] != t {
+			return nil, fmt.Errorf("metrics: source node %q has conflicting anchors in ground truth", p[0])
+		}
+		truth[s] = t
+	}
+	return truth, nil
+}
+
 // NumAnchors returns the number of ground-truth anchor links.
 func (t Truth) NumAnchors() int {
 	n := 0

@@ -6,82 +6,43 @@
 //
 // Endpoints:
 //
-//	POST   /v1/align      submit an alignment job (202; 200 on cache hit)
-//	POST   /v1/sweep      run several configs over one shared prepared pair
-//	GET    /v1/jobs/{id}  job status, queue position, live progress, result
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /v1/healthz    liveness + queue occupancy
-//	GET    /v1/metrics    Prometheus text metrics
+//	POST   /v1/align         submit an alignment job (202; 200 on cache hit)
+//	POST   /v1/sweep         run several configs over one shared prepared pair
+//	GET    /v1/jobs/{id}     job status, queue position, live progress, result
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	PUT    /v1/datasets/{id} upload a real dataset (any registered format)
+//	GET    /v1/datasets/{id} uploaded dataset metadata
+//	DELETE /v1/datasets/{id} remove an uploaded dataset
+//	GET    /v1/datasets      list built-in and uploaded datasets
+//	GET    /v1/healthz       liveness + queue occupancy
+//	GET    /v1/metrics       Prometheus text metrics
 //
 // The server runs the staged pipeline API: each job Prepares its graph
 // pair (or reuses another job's Prepared via a content-hash artifact
 // cache) and Aligns configs against it, so repeated work on one pair
 // never re-pays the orbit-counting and Laplacian construction stages.
+// Uploaded datasets are content-hashed into the same caches: re-uploading
+// identical graphs under a new id still hits both.
 package server
 
 import (
 	"fmt"
-	"math"
 	"reflect"
 	"sort"
 	"time"
 
 	"github.com/htc-align/htc/internal/core"
-	"github.com/htc-align/htc/internal/dense"
-	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/datasets"
+	"github.com/htc-align/htc/internal/ingest"
+	"github.com/htc-align/htc/internal/metrics"
 )
 
 // GraphSpec carries one network inline in a request: an edge list over
-// nodes 0..Nodes−1 plus an optional attribute matrix (one row per node).
-// Self-loops and duplicate edges are ignored, matching graph.Builder.
-type GraphSpec struct {
-	Nodes int         `json:"nodes"`
-	Edges [][2]int    `json:"edges"`
-	Attrs [][]float64 `json:"attrs,omitempty"`
-}
-
-// Build validates the spec and constructs the immutable graph. maxNodes
-// bounds admission (0 = unlimited).
-func (g *GraphSpec) Build(maxNodes int) (*graph.Graph, error) {
-	if g.Nodes <= 0 {
-		return nil, fmt.Errorf("graph needs a positive node count, got %d", g.Nodes)
-	}
-	if maxNodes > 0 && g.Nodes > maxNodes {
-		return nil, fmt.Errorf("graph has %d nodes, server limit is %d", g.Nodes, maxNodes)
-	}
-	b := graph.NewBuilder(g.Nodes)
-	for i, e := range g.Edges {
-		u, v := e[0], e[1]
-		if u < 0 || v < 0 || u >= g.Nodes || v >= g.Nodes {
-			return nil, fmt.Errorf("edge %d (%d,%d) outside [0,%d)", i, u, v, g.Nodes)
-		}
-		b.AddEdge(u, v)
-	}
-	built := b.Build()
-	if len(g.Attrs) == 0 {
-		return built, nil
-	}
-	if len(g.Attrs) != g.Nodes {
-		return nil, fmt.Errorf("attrs have %d rows for %d nodes", len(g.Attrs), g.Nodes)
-	}
-	cols := len(g.Attrs[0])
-	if cols == 0 {
-		return nil, fmt.Errorf("attrs rows must be non-empty")
-	}
-	x := dense.New(g.Nodes, cols)
-	for i, row := range g.Attrs {
-		if len(row) != cols {
-			return nil, fmt.Errorf("attrs row %d has %d values, want %d", i, len(row), cols)
-		}
-		for j, v := range row {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("attrs[%d][%d] is not finite", i, j)
-			}
-		}
-		copy(x.Row(i), row)
-	}
-	return built.WithAttrs(x), nil
-}
+// nodes 0..Nodes−1, an optional attribute matrix (one row per node) and
+// an optional id list naming the nodes. Self-loops and duplicate edges
+// are ignored and out-of-range endpoints rejected — graph.Builder's
+// uniform validation policy, shared with every ingest format reader.
+type GraphSpec = ingest.GraphSpec
 
 // AlignRequest is the body of POST /v1/align. A request names either a
 // built-in dataset (Dataset, with N/DataSeed/Remove tuning the generator)
@@ -89,7 +50,9 @@ func (g *GraphSpec) Build(maxNodes int) (*graph.Graph, error) {
 // map enabling evaluation). Config selects the pipeline hyperparameters;
 // omitted fields mean the paper's defaults.
 type AlignRequest struct {
-	// Dataset names a built-in pair; see Datasets() for valid names.
+	// Dataset names a built-in pair (see Datasets()) or a dataset
+	// previously uploaded via PUT /v1/datasets/{id}; uploads win name
+	// collisions never — upload ids may not shadow built-ins.
 	Dataset string `json:"dataset,omitempty"`
 	// N scales the built-in dataset (0 = the generator's default size).
 	N int `json:"n,omitempty"`
@@ -105,6 +68,10 @@ type AlignRequest struct {
 	// Truth optionally maps each source node to its true target anchor
 	// (−1 = unknown) so the server can report precision/MRR.
 	Truth []int `json:"truth,omitempty"`
+	// TruthPairs is the name-keyed alternative to Truth for inline
+	// pairs whose specs carry ids: (source id, target id) anchor pairs,
+	// resolved through the specs' id lists at admission.
+	TruthPairs [][2]string `json:"truth_pairs,omitempty"`
 
 	// Config holds the pipeline hyperparameters (zero value = paper
 	// defaults). Single-config requests (POST /v1/align) use it; sweep
@@ -118,10 +85,15 @@ type AlignRequest struct {
 	// HitsAt lists the precision@q cutoffs to evaluate (default 1, 5, 10).
 	HitsAt []int `json:"hits_at,omitempty"`
 
-	// builtSource/builtTarget memoise the graphs constructed during
-	// validation so the worker doesn't rebuild (and re-scan the attrs
-	// of) large inline requests.
-	builtSource, builtTarget *graph.Graph
+	// builtPair memoises the pair materialised during validation —
+	// inline graphs so the worker doesn't rebuild (and re-scan the
+	// attrs of) large requests, uploaded datasets so a store eviction
+	// or deletion between submit and run cannot strand the job.
+	builtPair *datasets.Pair
+	// upload is the stored dataset the request resolved to (nil for
+	// built-ins and inline pairs); its content hash keys the result
+	// cache instead of the mutable dataset id.
+	upload *storedDataset
 	// sweepKeys memoises the per-config result-cache keys the sweep
 	// handler computed at submit time, so the worker doesn't re-serialise
 	// a large inline pair once per config.
@@ -129,8 +101,9 @@ type AlignRequest struct {
 }
 
 // validate performs the request checks that don't require running the
-// pipeline; every failure maps to a 400.
-func (r *AlignRequest) validate(maxNodes int) error {
+// pipeline; every failure maps to a 400. store resolves dataset names
+// that refer to uploads (nil skips that lookup, for tests).
+func (r *AlignRequest) validate(maxNodes int, store *datasetStore) error {
 	inline := r.Source != nil || r.Target != nil
 	switch {
 	case r.Dataset != "" && inline:
@@ -141,44 +114,39 @@ func (r *AlignRequest) validate(maxNodes int) error {
 		return fmt.Errorf("inline requests need both source and target graphs")
 	}
 	if r.Dataset != "" {
-		if _, err := lookupDataset(r.Dataset); err != nil {
-			return err
-		}
-		if maxNodes > 0 && r.N > maxNodes {
-			return fmt.Errorf("n=%d exceeds server limit of %d nodes", r.N, maxNodes)
-		}
-		if len(r.Truth) > 0 {
-			return fmt.Errorf("truth is implied by built-in datasets; only inline requests may carry it")
+		if ds := store.get(r.Dataset); ds != nil {
+			// An uploaded dataset is self-contained: the generator knobs
+			// and truth of the other request shapes don't apply.
+			switch {
+			case r.N != 0:
+				return fmt.Errorf("n applies to built-in generators, not uploaded dataset %q", r.Dataset)
+			case r.DataSeed != 0:
+				return fmt.Errorf("data_seed applies to built-in generators, not uploaded dataset %q", r.Dataset)
+			case r.Remove != 0:
+				return fmt.Errorf("remove applies to built-in generators, not uploaded dataset %q", r.Dataset)
+			case len(r.Truth) > 0 || len(r.TruthPairs) > 0:
+				return fmt.Errorf("uploaded dataset %q carries its own ground truth", r.Dataset)
+			}
+			r.upload = ds
+			r.builtPair = ds.pair
+		} else {
+			if _, err := lookupDataset(r.Dataset); err != nil {
+				return err
+			}
+			if maxNodes > 0 && r.N > maxNodes {
+				return fmt.Errorf("n=%d exceeds server limit of %d nodes", r.N, maxNodes)
+			}
+			if len(r.Truth) > 0 || len(r.TruthPairs) > 0 {
+				return fmt.Errorf("truth is implied by built-in datasets; only inline requests may carry it")
+			}
 		}
 	}
 	if r.Remove < 0 || r.Remove >= 1 {
 		return fmt.Errorf("remove=%v outside [0,1)", r.Remove)
 	}
 	if inline {
-		// Build both specs now so malformed graphs are rejected at
-		// submit time rather than inside a worker; the built graphs are
-		// memoised for the worker.
-		gs, err := r.Source.Build(maxNodes)
-		if err != nil {
-			return fmt.Errorf("source: %w", err)
-		}
-		gt, err := r.Target.Build(maxNodes)
-		if err != nil {
-			return fmt.Errorf("target: %w", err)
-		}
-		r.builtSource, r.builtTarget = gs, gt
-		if len(r.Truth) > 0 {
-			if len(r.Truth) != r.Source.Nodes {
-				return fmt.Errorf("truth has %d entries for %d source nodes", len(r.Truth), r.Source.Nodes)
-			}
-			for s, t := range r.Truth {
-				// Valid entries are a target node or −1 ("unknown");
-				// anything below −1 is a client bug that the metrics
-				// layer would otherwise silently score as unknown.
-				if t < -1 || t >= r.Target.Nodes {
-					return fmt.Errorf("truth[%d]=%d outside %d target nodes (use -1 for unknown)", s, t, r.Target.Nodes)
-				}
-			}
+		if err := r.buildInline(maxNodes); err != nil {
+			return err
 		}
 	}
 	for _, q := range r.HitsAt {
@@ -197,6 +165,59 @@ func (r *AlignRequest) validate(maxNodes int) error {
 			return fmt.Errorf("configs[%d]: %w", i, err)
 		}
 	}
+	return nil
+}
+
+// buildInline materialises and validates an inline graph pair — specs,
+// id lists, and whichever truth shape the request carries — memoising
+// the result for the worker.
+func (r *AlignRequest) buildInline(maxNodes int) error {
+	gs, err := r.Source.Build(maxNodes)
+	if err != nil {
+		return fmt.Errorf("source: %w", err)
+	}
+	gt, err := r.Target.Build(maxNodes)
+	if err != nil {
+		return fmt.Errorf("target: %w", err)
+	}
+	srcIDs, err := r.Source.NodeMap()
+	if err != nil {
+		return fmt.Errorf("source: %w", err)
+	}
+	tgtIDs, err := r.Target.NodeMap()
+	if err != nil {
+		return fmt.Errorf("target: %w", err)
+	}
+	pair := &datasets.Pair{Name: "inline", Source: gs, Target: gt, SourceIDs: srcIDs, TargetIDs: tgtIDs}
+	if len(r.Truth) > 0 && len(r.TruthPairs) > 0 {
+		return fmt.Errorf("carry truth (index-keyed) or truth_pairs (id-keyed), not both")
+	}
+	if len(r.Truth) > 0 {
+		if len(r.Truth) != r.Source.Nodes {
+			return fmt.Errorf("truth has %d entries for %d source nodes", len(r.Truth), r.Source.Nodes)
+		}
+		for s, t := range r.Truth {
+			// Valid entries are a target node or −1 ("unknown");
+			// anything below −1 is a client bug that the metrics
+			// layer would otherwise silently score as unknown.
+			if t < -1 || t >= r.Target.Nodes {
+				return fmt.Errorf("truth[%d]=%d outside %d target nodes (use -1 for unknown)", s, t, r.Target.Nodes)
+			}
+		}
+		pair.Truth = append(metrics.Truth(nil), r.Truth...)
+	}
+	if len(r.TruthPairs) > 0 {
+		truth, err := metrics.TruthFromPairs(r.TruthPairs, srcIDs, tgtIDs)
+		if err != nil {
+			return fmt.Errorf("truth_pairs: %w", err)
+		}
+		pair.Truth = truth
+		// Canonicalise into the index-keyed form so equivalent
+		// name-keyed and index-keyed requests share one cache identity.
+		r.Truth = truth
+		r.TruthPairs = nil
+	}
+	r.builtPair = pair
 	return nil
 }
 
@@ -304,6 +325,10 @@ func stageMS(t core.StageTimings) StageMS {
 type AlignResult struct {
 	// Pairs is the one-to-one matching: (source node, target node).
 	Pairs [][2]int `json:"pairs"`
+	// PairsNamed mirrors Pairs through the dataset's external node ids.
+	// It is present when the pair carries a non-trivial id dictionary —
+	// uploaded datasets and inline specs with ids.
+	PairsNamed [][2]string `json:"pairs_named,omitempty"`
 	// PerOrbit reports each orbit's trusted-pair count and posterior
 	// weight.
 	PerOrbit []OrbitReport `json:"per_orbit"`

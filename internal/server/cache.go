@@ -21,6 +21,7 @@ import (
 func cacheKey(req *AlignRequest) (string, error) {
 	canonical := struct {
 		Dataset  string      `json:"dataset,omitempty"`
+		Upload   string      `json:"upload,omitempty"`
 		N        int         `json:"n,omitempty"`
 		DataSeed int64       `json:"data_seed,omitempty"`
 		Remove   float64     `json:"remove,omitempty"`
@@ -39,6 +40,14 @@ func cacheKey(req *AlignRequest) (string, error) {
 		Truth:    req.Truth,
 		Config:   canonicalConfig(req.Config),
 		HitsAt:   req.cutoffs(),
+	}
+	if req.upload != nil {
+		// An uploaded dataset's cache identity is its content (graphs +
+		// truth), not its mutable id: re-uploading the same data under
+		// another name, or re-using an id for new data, both do the
+		// right thing.
+		canonical.Dataset = ""
+		canonical.Upload = req.upload.contentHash()
 	}
 	blob, err := json.Marshal(canonical)
 	if err != nil {

@@ -1,13 +1,21 @@
 package server
 
 import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
+	"github.com/htc-align/htc/internal/core"
 	"github.com/htc-align/htc/internal/datasets"
 	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/ingest"
 )
 
 // datasetFn materialises a named dataset pair. n ≤ 0 selects the
@@ -99,9 +107,13 @@ func canonicalRemove(req *AlignRequest) float64 {
 	return req.Remove
 }
 
-// resolvePair materialises the graph pair of a validated request: either
-// the named built-in dataset or the inline specs.
+// resolvePair materialises the graph pair of a validated request: the
+// memoised upload or inline pair when validation already built one, the
+// named built-in generator otherwise.
 func resolvePair(req *AlignRequest, maxNodes int) (*datasets.Pair, error) {
+	if req.builtPair != nil {
+		return req.builtPair, nil
+	}
 	if req.Dataset != "" {
 		b, err := lookupDataset(req.Dataset)
 		if err != nil {
@@ -113,22 +125,250 @@ func resolvePair(req *AlignRequest, maxNodes int) (*datasets.Pair, error) {
 		}
 		return b.fn(req.N, req.DataSeed, remove), nil
 	}
-	gs, gt := req.builtSource, req.builtTarget
-	if gs == nil {
-		var err error
-		if gs, err = req.Source.Build(maxNodes); err != nil {
-			return nil, fmt.Errorf("source: %w", err)
+	// A request that arrived without validation (direct queue use in
+	// tests): build the inline pair now.
+	if err := req.buildInline(maxNodes); err != nil {
+		return nil, err
+	}
+	return req.builtPair, nil
+}
+
+// maxDatasetIDLen bounds uploaded dataset ids.
+const maxDatasetIDLen = 64
+
+// validDatasetID enforces the id grammar of PUT /v1/datasets/{id}:
+// filesystem- and URL-safe, no lookalike tricks.
+func validDatasetID(id string) error {
+	if id == "" || len(id) > maxDatasetIDLen {
+		return fmt.Errorf("dataset id must be 1..%d characters", maxDatasetIDLen)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("dataset id %q may only contain letters, digits, '.', '_' and '-'", id)
 		}
 	}
-	if gt == nil {
-		var err error
-		if gt, err = req.Target.Build(maxNodes); err != nil {
-			return nil, fmt.Errorf("target: %w", err)
+	if _, ok := builtinDatasets[strings.ToLower(id)]; ok {
+		return fmt.Errorf("dataset id %q shadows a built-in dataset", id)
+	}
+	return nil
+}
+
+// DatasetUpload is the body of PUT /v1/datasets/{id}: the source and
+// target networks as raw text in any registered format, plus optional
+// ID-keyed ground truth ("sourceID targetID" lines).
+type DatasetUpload struct {
+	// Format names the graph format of both documents; empty sniffs
+	// each by content.
+	Format string `json:"format,omitempty"`
+	// Source and Target are the raw graph documents.
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Truth optionally carries ID-keyed anchor pairs, one per line.
+	Truth string `json:"truth,omitempty"`
+	// Strict rejects self-loops and duplicate edges instead of
+	// skipping them.
+	Strict bool `json:"strict,omitempty"`
+}
+
+// GraphSummary describes one uploaded network.
+type GraphSummary struct {
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+	Attrs  int    `json:"attrs"`
+	Format string `json:"format"`
+}
+
+// DatasetInfo is the metadata face of an uploaded dataset, returned by
+// the PUT and GET endpoints.
+type DatasetInfo struct {
+	ID      string       `json:"id"`
+	Source  GraphSummary `json:"source"`
+	Target  GraphSummary `json:"target"`
+	Anchors int          `json:"anchors"`
+	// PairHash is the graphs' content hash — the key under which the
+	// pair's prepared artifacts are cached across jobs.
+	PairHash string `json:"pair_hash"`
+	// ContentHash additionally covers the ground truth; it keys the
+	// result cache, so re-uploading identical content under another id
+	// still hits.
+	ContentHash string    `json:"content_hash"`
+	UploadedAt  time.Time `json:"uploaded_at"`
+}
+
+// storedDataset is one uploaded dataset pinned in the store.
+type storedDataset struct {
+	id   string
+	pair *datasets.Pair
+	info DatasetInfo
+}
+
+// contentHash is the dataset's result-cache identity: the graphs' pair
+// hash extended with the resolved ground truth.
+func (d *storedDataset) contentHash() string { return d.info.ContentHash }
+
+// datasetStore is a bounded, thread-safe LRU of uploaded datasets. Each
+// entry pins two whole graphs plus their id dictionaries, so the default
+// capacity is modest; jobs memoise their pair at admission, making
+// eviction (or deletion) mid-flight harmless.
+type datasetStore struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type datasetEntry struct {
+	id string
+	ds *storedDataset
+}
+
+func newDatasetStore(capacity int) *datasetStore {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &datasetStore{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the stored dataset, or nil. A nil store never resolves
+// (so request validation can run storeless in tests).
+func (s *datasetStore) get(id string) *storedDataset {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[id]
+	if !ok {
+		return nil
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*datasetEntry).ds
+}
+
+// put stores (or replaces) a dataset and reports whether an entry with
+// this id already existed, evicting the least recently used entry when
+// over capacity.
+func (s *datasetStore) put(ds *storedDataset) (replaced bool, evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[ds.id]; ok {
+		el.Value.(*datasetEntry).ds = ds
+		s.order.MoveToFront(el)
+		return true, 0
+	}
+	s.items[ds.id] = s.order.PushFront(&datasetEntry{id: ds.id, ds: ds})
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*datasetEntry).id)
+		evicted++
+	}
+	return false, evicted
+}
+
+// delete removes a dataset, reporting whether it existed.
+func (s *datasetStore) delete(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[id]
+	if !ok {
+		return false
+	}
+	s.order.Remove(el)
+	delete(s.items, id)
+	return true
+}
+
+// len reports the number of stored datasets.
+func (s *datasetStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// list returns the stored datasets' metadata, most recently used first.
+func (s *datasetStore) list() []DatasetInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DatasetInfo, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*datasetEntry).ds.info)
+	}
+	return out
+}
+
+// maxUploadAttrDim bounds the attribute dimension of uploaded graphs:
+// real attribute spaces are tens to hundreds wide, and without a cap an
+// htc-graph header could claim a dimension that commits terabytes before
+// a single attribute row is read.
+const maxUploadAttrDim = 1024
+
+// buildDataset ingests an upload body into a stored dataset: both graphs
+// through the format registry (bounded by the server's admission limits),
+// the truth through the pair's id dictionaries, and the content hashes.
+func buildDataset(id string, up *DatasetUpload, maxNodes int, now time.Time) (*storedDataset, error) {
+	if strings.TrimSpace(up.Source) == "" || strings.TrimSpace(up.Target) == "" {
+		return nil, fmt.Errorf("upload needs both source and target graph documents")
+	}
+	opts := ingest.Options{Format: up.Format, MaxNodes: maxNodes, MaxAttrDim: maxUploadAttrDim, Strict: up.Strict}
+	src, err := ingest.Load(strings.NewReader(up.Source), opts)
+	if err != nil {
+		return nil, fmt.Errorf("source: %w", err)
+	}
+	tgt, err := ingest.Load(strings.NewReader(up.Target), opts)
+	if err != nil {
+		return nil, fmt.Errorf("target: %w", err)
+	}
+	pair := &datasets.Pair{
+		Name: id, Source: src.Graph, Target: tgt.Graph,
+		SourceIDs: src.Nodes, TargetIDs: tgt.Nodes,
+	}
+	if strings.TrimSpace(up.Truth) != "" {
+		truth, err := ingest.ReadTruth(strings.NewReader(up.Truth), src.Nodes, tgt.Nodes)
+		if err != nil {
+			return nil, err
 		}
+		pair.Truth = truth
 	}
-	pair := &datasets.Pair{Name: "inline", Source: gs, Target: gt}
-	if len(req.Truth) > 0 {
-		pair.Truth = append(pair.Truth, req.Truth...)
+	// The content hash keys the result cache, whose entries carry
+	// name-keyed matchings (pairs_named) and truth-dependent evaluation —
+	// so it must cover the id dictionaries and the truth on top of the
+	// structural pair hash, or a structurally identical upload with
+	// different node names would be served another dataset's names.
+	pairHash := core.PairHash(pair.Source, pair.Target)
+	sum := sha256.New()
+	io.WriteString(sum, pairHash)
+	for _, ids := range []*ingest.NodeMap{src.Nodes, tgt.Nodes} {
+		for i, n := 0, ids.Len(); i < n; i++ {
+			fmt.Fprintf(sum, "\x00%s", ids.ID(i))
+		}
+		io.WriteString(sum, "\x01")
 	}
-	return pair, nil
+	for _, t := range pair.Truth {
+		fmt.Fprintf(sum, " %d", t)
+	}
+	ds := &storedDataset{
+		id: id, pair: pair,
+		info: DatasetInfo{
+			ID:          id,
+			Source:      summarise(src),
+			Target:      summarise(tgt),
+			Anchors:     pair.Truth.NumAnchors(),
+			PairHash:    pairHash,
+			ContentHash: hex.EncodeToString(sum.Sum(nil)),
+			UploadedAt:  now,
+		},
+	}
+	return ds, nil
+}
+
+func summarise(l *ingest.Loaded) GraphSummary {
+	attrs := 0
+	if l.Graph.Attrs() != nil {
+		attrs = l.Graph.Attrs().Cols
+	}
+	return GraphSummary{Nodes: l.Graph.N(), Edges: l.Graph.NumEdges(), Attrs: attrs, Format: l.Format}
 }

@@ -30,6 +30,7 @@ var volatileKeys = map[string]any{
 	"timings_ms":     "<timings>",
 	"workers_used":   "<workers>",
 	"queue_position": "<position>",
+	"uploaded_at":    "<time>",
 }
 
 // normalize walks decoded JSON and stubs the volatile fields.
@@ -154,6 +155,59 @@ func TestV1GoldenSweep(t *testing.T) {
 	}
 	doneBlob, _ := readAll(resp)
 	checkGolden(t, "sweep_job_done.golden", doneBlob)
+}
+
+// TestV1GoldenDatasets locks the wire contract of the dataset endpoints:
+// upload metadata, the list shape, and the payload of an alignment
+// resolved from an uploaded dataset (named pairs included). The graph
+// ids in the fixture differ between upload and list fixtures only in
+// volatile fields, so the whole dataset lifecycle is covered by three
+// goldens.
+func TestV1GoldenDatasets(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/datasets/bridge-pair",
+		bytes.NewReader([]byte(readFixture(t, "dataset_put.json"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putBlob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: %d\n%s", resp.StatusCode, putBlob)
+	}
+	checkGolden(t, "dataset_put.golden", putBlob)
+
+	resp, err = http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listBlob, _ := readAll(resp)
+	checkGolden(t, "dataset_list.golden", listBlob)
+
+	resp, err = http.Post(ts.URL+"/v1/align", "application/json",
+		bytes.NewReader([]byte(readFixture(t, "dataset_align_request.json"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBlob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", resp.StatusCode, submitBlob)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(submitBlob, &info); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, ts, info.ID, StatusDone)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneBlob, _ := readAll(resp)
+	checkGolden(t, "dataset_align_job_done.golden", doneBlob)
 }
 
 func readAll(resp *http.Response) ([]byte, error) {

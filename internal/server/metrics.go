@@ -27,6 +27,13 @@ type Metrics struct {
 	// SweepConfigs counts individual configurations executed by sweep
 	// jobs (cache-served entries included).
 	SweepConfigs atomic.Int64
+	// DatasetUploads counts PUT /v1/datasets admissions (replacements
+	// included); DatasetEvictions counts LRU evictions from the store;
+	// DatasetAlignRuns counts pipeline runs resolved from an uploaded
+	// dataset.
+	DatasetUploads   atomic.Int64
+	DatasetEvictions atomic.Int64
+	DatasetAlignRuns atomic.Int64
 	// SimDenseRuns/SimTopKRuns count completed pipeline runs per
 	// similarity backend (auto configs count under the backend they
 	// resolved to), so operators can see the dense/top-k mix their
@@ -62,6 +69,9 @@ func (m *Metrics) writePrometheus(w io.Writer, extras map[string]float64) {
 	counter("htc_prepared_hits_total", "Jobs that reused cached prepared artifacts for their graph pair.", m.PreparedHits.Load())
 	counter("htc_prepared_misses_total", "Jobs that had to prepare their graph pair from scratch.", m.PreparedMisses.Load())
 	counter("htc_sweep_configs_total", "Configurations executed on behalf of sweep jobs.", m.SweepConfigs.Load())
+	counter("htc_dataset_uploads_total", "Dataset uploads admitted via PUT /v1/datasets.", m.DatasetUploads.Load())
+	counter("htc_dataset_evictions_total", "Uploaded datasets evicted from the LRU store.", m.DatasetEvictions.Load())
+	counter("htc_dataset_align_runs_total", "Pipeline runs resolved from an uploaded dataset.", m.DatasetAlignRuns.Load())
 	counter("htc_sim_dense_runs_total", "Pipeline runs that used the dense similarity backend.", m.SimDenseRuns.Load())
 	counter("htc_sim_topk_runs_total", "Pipeline runs that used the top-k similarity backend.", m.SimTopKRuns.Load())
 	fmt.Fprintf(w, "# HELP htc_jobs_running Jobs currently holding a worker.\n# TYPE htc_jobs_running gauge\nhtc_jobs_running %d\n", m.JobsRunning.Load())

@@ -12,6 +12,7 @@ import (
 
 	"github.com/htc-align/htc/internal/core"
 	"github.com/htc-align/htc/internal/datasets"
+	"github.com/htc-align/htc/internal/ingest"
 	"github.com/htc-align/htc/internal/metrics"
 )
 
@@ -32,6 +33,11 @@ type Options struct {
 	// pairs (default 8). Each entry pins a pair's graphs, orbit counts
 	// and Laplacians, so it is kept far smaller than the result cache.
 	PreparedCacheSize int
+	// DatasetCacheSize bounds the uploaded-dataset store in entries
+	// (default 16, LRU-evicted). Each entry pins two whole graphs plus
+	// their id dictionaries; in-flight jobs memoise their pair at
+	// admission, so eviction never strands a job.
+	DatasetCacheSize int
 	// MaxNodes bounds per-graph size at admission (default 20000,
 	// negative = unlimited).
 	MaxNodes int
@@ -54,6 +60,9 @@ func (o Options) withDefaults() Options {
 	if o.PreparedCacheSize <= 0 {
 		o.PreparedCacheSize = 8
 	}
+	if o.DatasetCacheSize <= 0 {
+		o.DatasetCacheSize = 16
+	}
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 20000
 	}
@@ -73,6 +82,7 @@ type Server struct {
 	queue    *Queue
 	cache    *resultCache
 	prepared *preparedCache
+	datasets *datasetStore
 	metrics  *Metrics
 	mux      *http.ServeMux
 	started  time.Time
@@ -86,6 +96,7 @@ func New(opts Options) *Server {
 		opts:     opts,
 		cache:    newResultCache(opts.CacheSize),
 		prepared: newPreparedCache(opts.PreparedCacheSize),
+		datasets: newDatasetStore(opts.DatasetCacheSize),
 		metrics:  &Metrics{},
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
@@ -95,6 +106,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("PUT /v1/datasets/{id}", s.handleDatasetPut)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
+	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -149,6 +164,9 @@ func (s *Server) runJob(ctx context.Context, job *Job) (any, error) {
 	}
 	if s.opts.MaxNodes > 0 && (pair.Source.N() > s.opts.MaxNodes || pair.Target.N() > s.opts.MaxNodes) {
 		return nil, fmt.Errorf("dataset exceeds server limit of %d nodes", s.opts.MaxNodes)
+	}
+	if job.Req.upload != nil {
+		s.metrics.DatasetAlignRuns.Add(1)
 	}
 
 	if len(job.Req.Configs) > 0 {
@@ -323,6 +341,17 @@ func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 			out.Pairs = append(out.Pairs, [2]int{src, tgt})
 		}
 	}
+	// Real datasets key their nodes by external ids; mirror the matching
+	// through the pair's dictionaries so clients read predictions back by
+	// name. Identity dictionaries (synthetic pairs, plain inline specs)
+	// would only repeat the indices, so they stay index-only.
+	if pair.SourceIDs != nil && pair.TargetIDs != nil &&
+		!(pair.SourceIDs.IsIdentity() && pair.TargetIDs.IsIdentity()) {
+		out.PairsNamed = make([][2]string, len(out.Pairs))
+		for i, p := range out.Pairs {
+			out.PairsNamed[i] = [2]string{pair.SourceIDs.ID(p[0]), pair.TargetIDs.ID(p[1])}
+		}
+	}
 	for i, o := range res.PerOrbit {
 		out.PerOrbit[i] = OrbitReport{Orbit: o.Orbit, Trusted: o.Trusted, Gamma: o.Gamma, Iters: o.Iters}
 	}
@@ -353,11 +382,79 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) *AlignReq
 		writeError(w, http.StatusBadRequest, "trailing data after request body")
 		return nil
 	}
-	if err := req.validate(s.opts.MaxNodes); err != nil {
+	if err := req.validate(s.opts.MaxNodes, s.datasets); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return nil
 	}
 	return &req
+}
+
+// handleDatasetPut ingests a dataset upload: both graphs through the
+// format registry, the ID-keyed truth through the resulting node maps.
+// It answers 201 on first upload and 200 on replacement.
+func (s *Server) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := validDatasetID(id); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var up DatasetUpload
+	if err := dec.Decode(&up); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	ds, err := buildDataset(id, &up, s.opts.MaxNodes, time.Now().UTC())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	replaced, evicted := s.datasets.put(ds)
+	s.metrics.DatasetUploads.Add(1)
+	s.metrics.DatasetEvictions.Add(int64(evicted))
+	if s.opts.Log != nil {
+		s.opts.Log.Printf("dataset %s uploaded (%d+%d nodes, %d anchors, pair %.12s…)",
+			id, ds.info.Source.Nodes, ds.info.Target.Nodes, ds.info.Anchors, ds.info.PairHash)
+	}
+	code := http.StatusCreated
+	if replaced {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, ds.info)
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	ds := s.datasets.get(r.PathValue("id"))
+	if ds == nil {
+		writeError(w, http.StatusNotFound, "no such uploaded dataset")
+		return
+	}
+	writeJSON(w, http.StatusOK, ds.info)
+}
+
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.datasets.delete(id) {
+		writeError(w, http.StatusNotFound, "no such uploaded dataset")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}
+
+// handleDatasetList reports the built-in generator names alongside the
+// uploaded datasets' metadata (most recently used first).
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"builtin":  Datasets(),
+		"uploaded": s.datasets.list(),
+	})
 }
 
 // enqueue submits a validated request and writes the job response.
@@ -491,7 +588,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"jobs_tracked":     s.queue.Len(),
 		"cache_entries":    s.cache.len(),
 		"prepared_entries": s.prepared.len(),
+		"dataset_entries":  s.datasets.len(),
 		"datasets":         Datasets(),
+		"ingest_formats":   ingest.Formats(),
 	})
 }
 
@@ -504,6 +603,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"htc_workers":          float64(s.queue.Workers()),
 		"htc_cache_entries":    float64(s.cache.len()),
 		"htc_prepared_entries": float64(s.prepared.len()),
+		"htc_dataset_entries":  float64(s.datasets.len()),
 		"htc_uptime_seconds":   time.Since(s.started).Seconds(),
 		"htc_jobs_tracked":     float64(s.queue.Len()),
 	})
