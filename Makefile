@@ -30,10 +30,11 @@ bench-snapshot:
 	./scripts/bench_snapshot.sh BENCH_server.json
 
 # Refresh the end-to-end pipeline baseline (BenchmarkAlign per variant,
-# workers=1 vs workers=max, the staged-API prepare-reuse sweep, and the
-# large-pair top-k memory benchmark).
+# workers=1 vs workers=max, the staged-API prepare-reuse sweep, the
+# large-pair top-k memory benchmark, and the 100k-node ingested-graph
+# ANN scale proof).
 bench-pipeline:
-	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$'
 
 # Refresh the ingestion baseline: the 1M-edge edge-list parse and the
 # 100k-anchor ID-keyed truth resolution.
@@ -41,10 +42,10 @@ bench-io:
 	./scripts/bench_snapshot.sh BENCH_io.json ./internal/ingest/ 'BenchmarkEdgeList1M$$|BenchmarkTruth100K$$'
 
 # The CI regression gate: re-measure and compare against the checked-in
-# pipeline and ingestion baselines, failing on a >2x time or >1.5x
-# allocated-bytes regression.
+# pipeline and ingestion baselines, failing on a >2x time, >1.5x
+# allocated-bytes or >1.5x allocation-count regression.
 bench-gate:
-	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$'
 	./scripts/bench_check.sh BENCH_pipeline.json BENCH_pipeline.ci.json 2.0 1.5
 	./scripts/bench_snapshot.sh BENCH_io.ci.json ./internal/ingest/ 'BenchmarkEdgeList1M$$|BenchmarkTruth100K$$'
 	./scripts/bench_check.sh BENCH_io.json BENCH_io.ci.json 2.0 1.5

@@ -7,7 +7,7 @@
 //	          [-k 13] [-epochs 60]
 //	          [-variant HTC|HTC-L|HTC-H|HTC-LT|HTC-DT[,more...]] [-seed 1]
 //	          [-truth truth.txt] [-top 1] [-progress]
-//	          [-sim auto|dense|topk] [-topk K]
+//	          [-sim auto|dense|topk|ann] [-topk K] [-ann-bits B] [-ann-probes P]
 //
 // -format selects the input reader; the default sniffs each file by
 // content, so SNAP-style edge lists, JSON GraphSpecs, adjacency lists
@@ -25,9 +25,12 @@
 //
 // -sim selects the similarity backend: dense materialises full ns×nt
 // score matrices, topk bounds every similarity stage to each node's -topk
-// best counterparts (O(n·k) memory — the backend for large graphs), auto
-// (the default) picks by pair size. -topk sets the per-node candidate
-// count (0 = automatic).
+// best counterparts (O(n·k) memory — the backend for large graphs), ann
+// generates the candidate lists through an LSH index (sub-quadratic
+// compute — the backend for huge graphs), auto (the default) picks by
+// pair size. -topk sets the per-node candidate count (0 = automatic);
+// -ann-bits/-ann-probes tune the LSH index (0 = automatic; setting
+// either implies -sim ann, and probes ≥ 2^bits reproduces topk exactly).
 package main
 
 import (
@@ -55,8 +58,10 @@ func main() {
 	truthPath := flag.String("truth", "", "optional ground-truth file for evaluation")
 	top := flag.Int("top", 1, "print the top-N candidates per source node")
 	progress := flag.Bool("progress", false, "stream pipeline progress to stderr")
-	sim := flag.String("sim", "auto", "similarity backend: auto, dense or topk")
+	sim := flag.String("sim", "auto", "similarity backend: auto, dense, topk or ann")
 	topk := flag.Int("topk", 0, "top-k candidate count per node (0 = automatic; implies -sim topk when set)")
+	annBits := flag.Int("ann-bits", 0, "ANN LSH code width in bits (0 = automatic; implies -sim ann when set)")
+	annProbes := flag.Int("ann-probes", 0, "ANN buckets probed per query (0 = automatic; implies -sim ann when set)")
 	flag.Parse()
 
 	if *sourcePath == "" || *targetPath == "" {
@@ -70,7 +75,11 @@ func main() {
 	if *topk < 0 {
 		log.Fatalf("-topk must be ≥ 1 (got %d); 0 selects the automatic count", *topk)
 	}
-	if *topk > 0 && backend == htc.SimilarityAuto {
+	if *annBits > 0 || *annProbes > 0 {
+		if backend == htc.SimilarityAuto {
+			backend = htc.SimilarityANN
+		}
+	} else if *topk > 0 && backend == htc.SimilarityAuto {
 		backend = htc.SimilarityTopK
 	}
 	pair, err := htc.LoadPair(*sourcePath, *targetPath, htc.LoadOptions{Format: *format})
@@ -88,7 +97,7 @@ func main() {
 		variants = append(variants, v)
 	}
 
-	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk}
+	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes}
 	if *progress {
 		base.Progress = progressLogger()
 	}
@@ -119,6 +128,9 @@ func main() {
 		simNote := "sim=" + res.SimBackend
 		if res.CandidateK > 0 {
 			simNote = fmt.Sprintf("%s k=%d", simNote, res.CandidateK)
+		}
+		if res.AnnBits > 0 {
+			simNote = fmt.Sprintf("%s bits=%d probes=%d", simNote, res.AnnBits, res.AnnProbes)
 		}
 		fmt.Printf("# aligned %d source nodes (%s) to %d target nodes (%s) (%s, %s)\n",
 			gs.N(), pair.SourceFormat, gt.N(), pair.TargetFormat, v, simNote)

@@ -5,7 +5,7 @@
 //
 //	htc-experiments -run table1|table2|table3|fig6|fig7|fig8|fig9|fig10|fig11|all
 //	                [-scale 1.0] [-seed 1] [-epochs 0] [-progress]
-//	                [-sim auto|dense|topk] [-topk K]
+//	                [-sim auto|dense|topk|ann] [-topk K] [-ann-bits B] [-ann-probes P]
 //	htc-experiments -source s.edges -target t.edges [-truth pairs.tsv]
 //	                [-format auto|htc-graph|edgelist|json|adjlist] ...
 //
@@ -16,9 +16,10 @@
 //
 // Scale shrinks the datasets proportionally (useful for quick runs);
 // epochs overrides training length (0 = defaults); -progress streams
-// per-stage pipeline progress to stderr. -sim/-topk select the HTC
-// similarity backend (baselines are unaffected), so the top-k
-// approximation can be measured against the paper numbers. Output is
+// per-stage pipeline progress to stderr. -sim/-topk/-ann-bits/-ann-probes
+// select and tune the HTC similarity backend (baselines are unaffected),
+// so the top-k and ANN approximations can be measured against the paper
+// numbers. Output is
 // plain text, one section per artefact; EXPERIMENTS.md records a
 // reference run.
 //
@@ -48,8 +49,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	epochs := flag.Int("epochs", 0, "training epochs override (0 = defaults)")
 	progress := flag.Bool("progress", false, "stream pipeline stage progress to stderr")
-	sim := flag.String("sim", "auto", "HTC similarity backend: auto, dense or topk")
+	sim := flag.String("sim", "auto", "HTC similarity backend: auto, dense, topk or ann")
 	topk := flag.Int("topk", 0, "top-k candidate count per node (0 = automatic; implies -sim topk when set)")
+	annBits := flag.Int("ann-bits", 0, "ANN LSH code width in bits (0 = automatic; implies -sim ann when set)")
+	annProbes := flag.Int("ann-probes", 0, "ANN buckets probed per query (0 = automatic; implies -sim ann when set)")
 	sourcePath := flag.String("source", "", "custom run: source graph file (any registered format)")
 	targetPath := flag.String("target", "", "custom run: target graph file")
 	format := flag.String("format", "", "custom run: input format (default: sniff by content)")
@@ -63,10 +66,14 @@ func main() {
 	if *topk < 0 {
 		log.Fatalf("-topk must be ≥ 1 (got %d); 0 selects the automatic count", *topk)
 	}
-	if *topk > 0 && backend == htc.SimilarityAuto {
+	if *annBits > 0 || *annProbes > 0 {
+		if backend == htc.SimilarityAuto {
+			backend = htc.SimilarityANN
+		}
+	} else if *topk > 0 && backend == htc.SimilarityAuto {
 		backend = htc.SimilarityTopK
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes}
 	if *progress {
 		o.Progress = stageLogger()
 	}

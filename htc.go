@@ -90,10 +90,15 @@ const (
 	// SimilarityTopK bounds every similarity stage to Config.CandidateK
 	// candidates per node; bit-identical to dense when k ≥ max(ns, nt).
 	SimilarityTopK = core.SimTopK
+	// SimilarityANN keeps the top-k representation but generates the
+	// candidate lists through an LSH index (sub-quadratic compute) —
+	// tuned by Config.AnnBits/AnnProbes, and bit-identical to
+	// SimilarityTopK when AnnProbes ≥ 2^AnnBits.
+	SimilarityANN = core.SimANN
 )
 
 // ParseSimBackend resolves a backend name ("auto", "dense", "topk",
-// case-insensitive) into a SimBackend.
+// "ann", case-insensitive) into a SimBackend.
 func ParseSimBackend(s string) (SimBackend, error) { return core.ParseSimBackend(s) }
 
 // OrbitOutcome reports one orbit's trusted pairs and importance weight.

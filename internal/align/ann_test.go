@@ -1,0 +1,142 @@
+package align
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/htc-align/htc/internal/ann"
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// embeddingPair fabricates embedding-like inputs: a random source matrix
+// and a target that is the same rows under mild gaussian noise — the
+// shape FineTune's candidate generators actually see, where every row
+// has a clearly most-similar counterpart plus a tail of moderately
+// similar ones.
+func embeddingPair(ns, nt, d int, seed int64) (*dense.Matrix, *dense.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	hs := dense.New(ns, d)
+	for i := range hs.Data {
+		hs.Data[i] = rng.NormFloat64()
+	}
+	ht := dense.New(nt, d)
+	for i := 0; i < nt; i++ {
+		src := hs.Row(i % ns)
+		dst := ht.Row(i)
+		for j := range dst {
+			dst[j] = src[j] + 0.25*rng.NormFloat64()
+		}
+	}
+	return hs, ht
+}
+
+// TestANNExactnessEscapeHatch: with Probes ≥ 2^Bits the LSH generator is
+// bit-identical to the blocked exact scan, across sizes and seeds.
+func TestANNExactnessEscapeHatch(t *testing.T) {
+	for _, n := range []int{1, 17, 64, 150} {
+		for seed := int64(1); seed <= 3; seed++ {
+			hs, ht := embeddingPair(n, n, 6, seed)
+			k := 12
+			if k > n {
+				k = n
+			}
+			exact := TopKCandidates(hs, ht, k)
+			hatch := ANNCandidates(hs, ht, k, ann.Params{Bits: 4, Probes: 1 << 4, Seed: seed})
+			if !reflect.DeepEqual(exact, hatch) {
+				t.Fatalf("n=%d seed=%d: full-probe ANN deviates from exact top-k", n, seed)
+			}
+		}
+	}
+}
+
+// TestANNRecallProperty sweeps graph sizes and seeds and asserts the
+// approximate candidate lists recover ≥ 0.95 of the exact top-k pairs —
+// the measured recall-vs-dense metric of the approximate backend, on
+// auto-resolved parameters exactly as the pipeline would run them.
+func TestANNRecallProperty(t *testing.T) {
+	worst := 1.0
+	for _, tc := range []struct{ ns, nt, seeds int }{
+		// ≤ 1024 rows the auto probe budget covers every bucket (exact);
+		// the larger sizes probe 88% and 50% of the buckets respectively.
+		{120, 120, 4}, {300, 280, 4}, {600, 600, 4}, {900, 1000, 4},
+		{1600, 1500, 2}, {2600, 2800, 2},
+	} {
+		for seed := int64(1); seed <= int64(tc.seeds); seed++ {
+			hs, ht := embeddingPair(tc.ns, tc.nt, 8, seed)
+			k := 32
+			bits := ann.AutoBits(tc.nt)
+			p := ann.Params{Bits: bits, Probes: ann.AutoProbes(bits), Seed: seed}
+			exact := TopKCandidates(hs, ht, k)
+			approx := ANNCandidates(hs, ht, k, p)
+			rec := CandidateRecall(approx, exact)
+			if rec < worst {
+				worst = rec
+			}
+			if rec < 0.95 {
+				t.Errorf("ns=%d nt=%d seed=%d bits=%d probes=%d: recall %.4f < 0.95",
+					tc.ns, tc.nt, seed, p.Bits, p.Probes, rec)
+			}
+		}
+	}
+	t.Logf("worst-case ANN candidate recall vs exact top-k: %.4f", worst)
+}
+
+// TestANNRecallApproximatePath pins the genuinely approximate regime —
+// probe counts well below the bucket count — where recall comes from the
+// margin-ordered multi-probe sequence rather than exhaustive coverage.
+func TestANNRecallApproximatePath(t *testing.T) {
+	hs, ht := embeddingPair(5000, 5000, 8, 3)
+	k := 32
+	p := ann.Params{Bits: 9, Probes: 144, Seed: 3} // 144 of 512 buckets
+	exact := TopKCandidates(hs, ht, k)
+	approx := ANNCandidates(hs, ht, k, p)
+	rec := CandidateRecall(approx, exact)
+	t.Logf("approximate-path recall (144/512 buckets probed): %.4f", rec)
+	if rec < 0.95 {
+		t.Errorf("recall %.4f < 0.95 on the approximate path", rec)
+	}
+	if p.Exact() {
+		t.Fatal("test misconfigured: probes cover every bucket")
+	}
+}
+
+// TestCandidateRecall pins the metric itself.
+func TestCandidateRecall(t *testing.T) {
+	want := &Candidates{K: 2, Idx: [][]int32{{1, 2}, {3, 4}}, Score: [][]float64{{1, 1}, {1, 1}}}
+	got := &Candidates{K: 2, Idx: [][]int32{{2, 9}, {3, 4}}, Score: [][]float64{{1, 1}, {1, 1}}}
+	if rec := CandidateRecall(got, want); rec != 0.75 {
+		t.Fatalf("recall = %v, want 0.75", rec)
+	}
+	if rec := CandidateRecall(want, want); rec != 1 {
+		t.Fatalf("self recall = %v, want 1", rec)
+	}
+	empty := &Candidates{}
+	if rec := CandidateRecall(empty, empty); rec != 1 {
+		t.Fatalf("empty recall = %v, want 1", rec)
+	}
+}
+
+// TestFineTuneANNExactMatchesTopK: the full fine-tuning loop under a
+// full-probe ANN generator reproduces the exact top-k loop bit for bit —
+// Sim contents, trusted-pair counts, iteration counts.
+func TestFineTuneANNExactMatchesTopK(t *testing.T) {
+	gs, gt, _ := buildAlignedPair(30, 21)
+	enc, src, tgt := trainEncoder(gs, gt, 2, 22)
+
+	base := FineTuneConfig{M: 5, Beta: 1.1, MaxIters: 4, TopK: 10, Workers: 2}
+	exact := FineTune(enc, src.Laps[0], tgt.Laps[0], src.X, tgt.X, base)
+
+	annCfg := base
+	annCfg.Ann = ann.Params{Bits: 4, Probes: 1 << 4, Seed: 1}
+	hatch := FineTune(enc, src.Laps[0], tgt.Laps[0], src.X, tgt.X, annCfg)
+
+	if exact.Trusted != hatch.Trusted || exact.Iters != hatch.Iters {
+		t.Fatalf("loop outcomes differ: trusted %d vs %d, iters %d vs %d",
+			exact.Trusted, hatch.Trusted, exact.Iters, hatch.Iters)
+	}
+	es, hs := exact.Sim.(*TopKSim), hatch.Sim.(*TopKSim)
+	if !reflect.DeepEqual(es.C, hs.C) || es.Cols != hs.Cols {
+		t.Fatal("full-probe ANN fine-tuning deviates from the exact top-k loop")
+	}
+}

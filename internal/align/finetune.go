@@ -3,6 +3,7 @@ package align
 import (
 	"context"
 
+	"github.com/htc-align/htc/internal/ann"
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/nn"
 	"github.com/htc-align/htc/internal/sparse"
@@ -35,6 +36,14 @@ type FineTuneConfig struct {
 	// direction) the two backends are bit-identical; smaller k trades
 	// exactness for bounded memory.
 	TopK int
+	// Ann, when its Bits are positive (and TopK ≥ 1), swaps the blocked
+	// exact candidate scan for the LSH generator of internal/ann:
+	// compute drops from O(ns·nt) score cells to hashing plus an exact
+	// re-rank of each node's probed pool. Everything downstream —
+	// hubness, LISI, trusted pairs, integration — runs unchanged on the
+	// candidate lists, and with Probes ≥ 2^Bits the loop is
+	// bit-identical to the exact top-k path.
+	Ann ann.Params
 	// KeepEmbeddings snapshots the best iteration's Hs/Ht into the
 	// result. Off by default: the copies are two n×d matrices per
 	// improving iteration, and most callers only want M.
@@ -141,11 +150,25 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 	var score func(hs, ht *dense.Matrix) (Sim, [][2]int)
 	var keep func(Sim)
 	if cfg.TopK > 0 {
-		var fs, bs topkScratch
+		// Both candidate generators emit the same structure under the
+		// same ordering contract, so the loop body below serves the
+		// exact blocked scan and the LSH index alike — each direction
+		// keeps its own scratch across iterations.
+		var fwdGen, bwdGen func(a, b *dense.Matrix) *Candidates
+		if cfg.Ann.Bits > 0 {
+			fa := &annScratch{p: cfg.Ann}
+			ba := &annScratch{p: cfg.Ann}
+			fwdGen = func(a, b *dense.Matrix) *Candidates { return fa.topK(a, b, cfg.TopK, w) }
+			bwdGen = func(a, b *dense.Matrix) *Candidates { return ba.topK(a, b, cfg.TopK, w) }
+		} else {
+			var fs, bs topkScratch
+			fwdGen = func(a, b *dense.Matrix) *Candidates { return fs.topK(a, b, cfg.TopK, w) }
+			bwdGen = func(a, b *dense.Matrix) *Candidates { return bs.topK(a, b, cfg.TopK, w) }
+		}
 		var dt, ds []float64
 		score = func(hs, ht *dense.Matrix) (Sim, [][2]int) {
-			fwd := fs.topK(hs, ht, cfg.TopK, w)
-			bwd := bs.topK(ht, hs, cfg.TopK, w)
+			fwd := fwdGen(hs, ht)
+			bwd := bwdGen(ht, hs)
 			dt = topMeansInto(dt, fwd, cfg.M)
 			ds = topMeansInto(ds, bwd, cfg.M)
 			pairs := trustedPairsCands(fwd, bwd, dt, ds)

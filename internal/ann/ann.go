@@ -1,0 +1,504 @@
+// Package ann is the approximate candidate generator behind the "ann"
+// similarity backend: a signed-random-projection LSH index over the rows
+// of a dense matrix. Rows hash into 2^Bits buckets by the sign pattern of
+// Bits random projections; a query scans its own bucket plus the
+// cheapest perturbed buckets in multi-probe order (Lv et al., VLDB'07)
+// and exactly re-ranks the gathered pool by inner product. Probing every
+// bucket degrades gracefully into a brute-force scan, which is the
+// exactness escape hatch: a full-probe index reproduces the blocked
+// exact top-k scan bit for bit.
+//
+// The package is metric-agnostic — it ranks by plain inner product — so
+// the caller owns the metric: the align layer centers and row-normalises
+// embeddings first, turning inner products into Pearson correlations.
+// Everything is deterministic: the hyperplanes are drawn from the seed,
+// bucket assembly is a stable counting sort, probe order breaks cost
+// ties by perturbation mask, and re-ranking scores every candidate with
+// the same sequential dot product as the dense kernel, so results are
+// identical for every worker count.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/par"
+)
+
+// MaxBits caps the code width: the bucket-offset table costs O(2^Bits),
+// so 20 bits (1M buckets, 4 MB of offsets) is the widest code worth
+// paying for before the table dominates the candidate structures.
+const MaxBits = 20
+
+// Params fix an index's geometry. The align/core layers resolve zero
+// values to AutoBits/AutoProbes before building an index.
+type Params struct {
+	// Bits is the code width b ∈ [1, MaxBits]: rows hash into 2^b
+	// buckets by the sign pattern of b random projections.
+	Bits int
+	// Probes is the minimum number of buckets scanned per query, visited
+	// in multi-probe order (cheapest perturbations of the query's own
+	// code first). A query keeps probing past this floor until it has
+	// gathered at least k candidates, so result rows are always full.
+	// Probes ≥ 2^Bits selects the brute-force exact path.
+	Probes int
+	// Seed drives the hyperplane draw; equal seeds give identical
+	// indexes.
+	Seed int64
+}
+
+// Exact reports whether the parameters probe every bucket, i.e. select
+// the brute-force scan that reproduces the exact top-k bit for bit.
+func (p Params) Exact() bool { return p.Probes >= 1<<p.Bits }
+
+// AutoBits picks a code width for n indexed rows, targeting a mean
+// bucket occupancy of ~16 rows and clamping to [4, MaxBits].
+func AutoBits(n int) int {
+	b := 4
+	for b < MaxBits && n > 16<<b {
+		b++
+	}
+	return b
+}
+
+// AutoProbes picks a default probe count for a code width: 16·bits,
+// capped at the bucket count. The linear-in-bits schedule keeps measured
+// candidate recall ≥ 0.95 on embedding-like inputs while the probed
+// bucket fraction shrinks as the input grows — every bucket at ≤ 6 bits
+// (exact), ~28% at 9 bits, ~2.5% at 13 bits (100k rows).
+func AutoProbes(bits int) int {
+	p := 16 * bits
+	if full := 1 << bits; p > full {
+		p = full
+	}
+	return p
+}
+
+// Result holds every query's top-k ids and scores; rows are sorted by
+// descending score with ties broken by lower id — the same order the
+// exact blocked scan produces. All rows share two backing arrays, and
+// the layout mirrors align.Candidates so that layer can adopt the
+// slices without copying.
+type Result struct {
+	K     int
+	Idx   [][]int32
+	Score [][]float64
+}
+
+// Index is a signed-random-projection LSH index over the rows of one
+// matrix. Fit hashes the rows; TopK answers batched queries. An Index is
+// reusable across Fit calls (a fine-tuning loop re-fits each iteration's
+// embeddings into the same scratch) but not concurrently usable.
+type Index struct {
+	p    Params
+	data *dense.Matrix // fitted rows (borrowed, not copied)
+	n    int
+
+	planes  *dense.Matrix // Bits×d hyperplanes, drawn once per dimension
+	proj    *dense.Matrix // n×Bits row projections (scratch)
+	codes   []uint32      // per-row bucket code
+	start   []int32       // CSR bucket offsets, len 2^Bits+1
+	order   []int32       // row ids grouped by bucket, stable in row order
+	cursor  []int32       // counting-sort scratch
+	workers []searcher    // per-worker query scratch
+}
+
+// New validates the parameters and returns an empty index; Fit must run
+// before TopK.
+func New(p Params) *Index {
+	if p.Bits < 1 || p.Bits > MaxBits {
+		panic(fmt.Sprintf("ann: Bits = %d outside [1, %d]", p.Bits, MaxBits))
+	}
+	if p.Probes < 1 {
+		panic(fmt.Sprintf("ann: Probes = %d < 1", p.Probes))
+	}
+	return &Index{p: p}
+}
+
+// Params returns the index geometry.
+func (ix *Index) Params() Params { return ix.p }
+
+// Fit (re)hashes the rows of data into the index. The matrix is
+// borrowed: it must stay unmodified until the next Fit. On the exact
+// path hashing is skipped entirely — a full-probe query scans every row
+// anyway.
+func (ix *Index) Fit(data *dense.Matrix, workers int) {
+	ix.data = data
+	ix.n = data.Rows
+	if ix.p.Exact() || ix.n == 0 {
+		return
+	}
+	if ix.planes == nil || ix.planes.Cols != data.Cols {
+		ix.planes = dense.New(ix.p.Bits, data.Cols)
+		rng := rand.New(rand.NewSource(ix.p.Seed))
+		for i := range ix.planes.Data {
+			ix.planes.Data[i] = rng.NormFloat64()
+		}
+	}
+	// Project all rows at once — the kernel is deterministic for every
+	// worker count, so the codes are too.
+	ix.proj = dense.Ensure(ix.proj, ix.n, ix.p.Bits)
+	dense.MulBTInto(ix.proj, data, ix.planes, workers)
+	ix.codes = growInt32sAsU32(ix.codes, ix.n)
+	par.For(workers, ix.n, ix.p.Bits, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var c uint32
+			for j, v := range ix.proj.Row(i) {
+				if v >= 0 {
+					c |= 1 << uint(j)
+				}
+			}
+			ix.codes[i] = c
+		}
+	})
+	// Stable counting sort into CSR buckets: offsets, then rows in
+	// ascending id order within each bucket.
+	nb := 1 << ix.p.Bits
+	ix.start = growInt32s(ix.start, nb+1)
+	ix.cursor = growInt32s(ix.cursor, nb)
+	for i := range ix.start[:nb+1] {
+		ix.start[i] = 0
+	}
+	for _, c := range ix.codes {
+		ix.start[c+1]++
+	}
+	for b := 0; b < nb; b++ {
+		ix.start[b+1] += ix.start[b]
+	}
+	copy(ix.cursor, ix.start[:nb])
+	ix.order = growInt32s(ix.order, ix.n)
+	for i, c := range ix.codes {
+		ix.order[ix.cursor[c]] = int32(i)
+		ix.cursor[c]++
+	}
+}
+
+// annBlockRows sizes the per-worker query batches of TopK.
+const annBlockRows = 128
+
+// TopK returns, for every query row, its k best fitted rows by inner
+// product, each result row sorted descending (ties by lower id). k is
+// clamped to the fitted row count; every result row then holds exactly k
+// entries — queries keep probing past the Probes floor until their pool
+// reaches k. Results are bit-identical for every worker count, and on
+// the exact path bit-identical to the blocked exact scan.
+func (ix *Index) TopK(queries *dense.Matrix, k, workers int) *Result {
+	if k < 1 {
+		panic(fmt.Sprintf("ann: TopK k = %d < 1", k))
+	}
+	if k > ix.n {
+		k = ix.n
+	}
+	nq := queries.Rows
+	out := &Result{
+		K:     k,
+		Idx:   make([][]int32, nq),
+		Score: make([][]float64, nq),
+	}
+	idxBack := make([]int32, nq*k)
+	scoreBack := make([]float64, nq*k)
+	for i := 0; i < nq; i++ {
+		out.Idx[i] = idxBack[i*k : i*k+k : i*k+k]
+		out.Score[i] = scoreBack[i*k : i*k+k : i*k+k]
+	}
+	if nq == 0 || k == 0 {
+		return out
+	}
+	nBlocks := (nq + annBlockRows - 1) / annBlockRows
+	w := par.Resolve(workers)
+	if w > nBlocks {
+		w = nBlocks
+	}
+	if len(ix.workers) < w {
+		ix.workers = append(ix.workers, make([]searcher, w-len(ix.workers))...)
+	}
+	par.Sharded(w, nBlocks, func(worker, blk int) {
+		s := &ix.workers[worker]
+		lo := blk * annBlockRows
+		hi := lo + annBlockRows
+		if hi > nq {
+			hi = nq
+		}
+		for r := lo; r < hi; r++ {
+			ix.search(s, queries.Row(r), k, out.Idx[r], out.Score[r])
+		}
+	})
+	return out
+}
+
+// searcher is one worker's private query scratch.
+type searcher struct {
+	z    []float64 // query projections
+	abs  []float64 // projection margins |z|
+	perm []int     // bit positions sorted by ascending margin
+	// Pending perturbation sets, a binary min-heap ordered by (cost,
+	// mask): cost is the summed margin of the flipped bits, the mask
+	// identifies the set over sorted positions and breaks cost ties
+	// deterministically.
+	heapC []float64
+	heapM []uint32
+	pool  []int32
+	sel   selHeap
+}
+
+// search fills one query's k best rows. The approximate path hashes the
+// query, walks buckets in multi-probe order until it has probed the
+// configured count and gathered ≥ k candidates, and exactly re-ranks the
+// pool; the exact path scans every row.
+func (ix *Index) search(s *searcher, q []float64, k int, outIdx []int32, outScore []float64) {
+	if ix.p.Exact() {
+		s.sel.selectRows(outIdx, outScore, q, ix.data, nil, ix.n)
+		return
+	}
+	nbits := ix.p.Bits
+	s.z = resize(s.z, nbits)
+	s.abs = resize(s.abs, nbits)
+	for j := 0; j < nbits; j++ {
+		s.z[j] = dot(q, ix.planes.Row(j))
+		s.abs[j] = math.Abs(s.z[j])
+	}
+	var code uint32
+	for j, v := range s.z {
+		if v >= 0 {
+			code |= 1 << uint(j)
+		}
+	}
+	// Sort bit positions by ascending margin (ties by lower position):
+	// flipping a near-zero projection is the cheapest perturbation.
+	// Insertion sort — nbits ≤ 20.
+	if cap(s.perm) < nbits {
+		s.perm = make([]int, nbits)
+	}
+	s.perm = s.perm[:nbits]
+	for j := range s.perm {
+		s.perm[j] = j
+	}
+	for i := 1; i < nbits; i++ {
+		p := s.perm[i]
+		j := i
+		for j > 0 && s.abs[p] < s.abs[s.perm[j-1]] {
+			s.perm[j] = s.perm[j-1]
+			j--
+		}
+		s.perm[j] = p
+	}
+
+	// Walk buckets in multi-probe order: the query's own bucket, then
+	// perturbation sets popped cheapest-first, each pop seeding its
+	// shift and expand successors (every non-empty set is generated
+	// exactly once). Keep probing past the floor until the pool covers
+	// k — the full enumeration reaches every bucket, so pool ≥ k always
+	// terminates.
+	s.heapC = s.heapC[:0]
+	s.heapM = s.heapM[:0]
+	s.pool = s.pool[:0]
+	ix.gather(s, code)
+	s.pushProbe(s.abs[s.perm[0]], 1)
+	total := 1 << nbits
+	for probed := 1; (probed < ix.p.Probes || len(s.pool) < k) && probed < total && len(s.heapC) > 0; probed++ {
+		cost, mask := s.popProbe()
+		var flip uint32
+		for m := mask; m != 0; m &= m - 1 {
+			flip |= 1 << uint(s.perm[bits.TrailingZeros32(m)])
+		}
+		ix.gather(s, code^flip)
+		if top := bits.Len32(mask) - 1; top+1 < nbits {
+			mTop := s.abs[s.perm[top]]
+			mNext := s.abs[s.perm[top+1]]
+			s.pushProbe(cost-mTop+mNext, mask&^(1<<uint(top))|1<<uint(top+1)) // shift
+			s.pushProbe(cost+mNext, mask|1<<uint(top+1))                      // expand
+		}
+	}
+	s.sel.selectRows(outIdx, outScore, q, ix.data, s.pool, 0)
+}
+
+// gather appends one bucket's rows to the candidate pool. Buckets
+// partition the rows, so the pool never holds duplicates.
+func (ix *Index) gather(s *searcher, bucket uint32) {
+	lo, hi := ix.start[bucket], ix.start[bucket+1]
+	s.pool = append(s.pool, ix.order[lo:hi]...)
+}
+
+// pushProbe adds a pending perturbation set to the min-heap.
+func (s *searcher) pushProbe(cost float64, mask uint32) {
+	s.heapC = append(s.heapC, cost)
+	s.heapM = append(s.heapM, mask)
+	i := len(s.heapC) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !probeLess(s.heapC[i], s.heapM[i], s.heapC[p], s.heapM[p]) {
+			return
+		}
+		s.heapC[i], s.heapC[p] = s.heapC[p], s.heapC[i]
+		s.heapM[i], s.heapM[p] = s.heapM[p], s.heapM[i]
+		i = p
+	}
+}
+
+// popProbe removes and returns the cheapest pending perturbation set.
+func (s *searcher) popProbe() (float64, uint32) {
+	cost, mask := s.heapC[0], s.heapM[0]
+	n := len(s.heapC) - 1
+	s.heapC[0], s.heapM[0] = s.heapC[n], s.heapM[n]
+	s.heapC = s.heapC[:n]
+	s.heapM = s.heapM[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && probeLess(s.heapC[r], s.heapM[r], s.heapC[l], s.heapM[l]) {
+			m = r
+		}
+		if !probeLess(s.heapC[m], s.heapM[m], s.heapC[i], s.heapM[i]) {
+			break
+		}
+		s.heapC[i], s.heapC[m] = s.heapC[m], s.heapC[i]
+		s.heapM[i], s.heapM[m] = s.heapM[m], s.heapM[i]
+		i = m
+	}
+	return cost, mask
+}
+
+// probeLess orders perturbation sets by cost, ties by mask.
+func probeLess(c1 float64, m1 uint32, c2 float64, m2 uint32) bool {
+	if c1 != c2 {
+		return c1 < c2
+	}
+	return m1 < m2
+}
+
+// selHeap selects the k best candidates of one query deterministically:
+// a fixed-capacity min-heap ordered worse-first (smaller score, then
+// larger id at the root), popped back-to-front into descending order —
+// the same rule as the exact blocked scan, so equal pools give equal
+// output.
+type selHeap struct {
+	idx   []int32
+	score []float64
+}
+
+func (h *selHeap) worse(a, b int) bool {
+	if h.score[a] != h.score[b] {
+		return h.score[a] < h.score[b]
+	}
+	return h.idx[a] > h.idx[b]
+}
+
+func (h *selHeap) swap(a, b int) {
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+	h.score[a], h.score[b] = h.score[b], h.score[a]
+}
+
+func (h *selHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.worse(i, p) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *selHeap) siftDown(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.worse(r, l) {
+			m = r
+		}
+		if !h.worse(m, i) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// selectRows scores candidates against the query by sequential dot
+// product — the same per-cell association as the dense kernel — and
+// writes the k = len(outIdx) best into the output slices. Candidates
+// come from pool when non-nil, or rows 0..scanN−1 otherwise (the exact
+// full scan).
+func (h *selHeap) selectRows(outIdx []int32, outScore []float64, q []float64, data *dense.Matrix, pool []int32, scanN int) {
+	k := len(outIdx)
+	if k == 0 {
+		return
+	}
+	h.idx = h.idx[:0]
+	h.score = h.score[:0]
+	consider := func(j int32) {
+		v := dot(q, data.Row(int(j)))
+		if len(h.idx) < k {
+			h.idx = append(h.idx, j)
+			h.score = append(h.score, v)
+			h.siftUp(len(h.idx) - 1)
+			return
+		}
+		if v > h.score[0] || (v == h.score[0] && j < h.idx[0]) {
+			h.idx[0], h.score[0] = j, v
+			h.siftDown(0, k)
+		}
+	}
+	if pool != nil {
+		for _, j := range pool {
+			consider(j)
+		}
+	} else {
+		for j := 0; j < scanN; j++ {
+			consider(int32(j))
+		}
+	}
+	n := len(h.idx)
+	for p := n - 1; p >= 0; p-- {
+		outIdx[p], outScore[p] = h.idx[0], h.score[0]
+		h.swap(0, n-1)
+		n--
+		h.siftDown(0, n)
+	}
+}
+
+// dot is the sequential inner product — the exact association the dense
+// kernel uses per cell, which is what makes full-probe results
+// bit-identical to the blocked scan.
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// resize returns a slice of exactly n elements, reusing capacity.
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInt32s returns an int32 slice of exactly n elements, reusing
+// capacity.
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growInt32sAsU32 is growInt32s for uint32 slices.
+func growInt32sAsU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,180 @@
+package ann
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/htc-align/htc/internal/dense"
+)
+
+// randRows builds an n×d matrix of unit-normalised gaussian rows.
+func randRows(n, d int, seed int64) *dense.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := dense.New(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	m.NormalizeRows()
+	return m
+}
+
+// bruteTopK is the reference: scores every row sequentially and sorts
+// by (score desc, id asc).
+func bruteTopK(queries, data *dense.Matrix, k int) *Result {
+	if k > data.Rows {
+		k = data.Rows
+	}
+	out := &Result{K: k, Idx: make([][]int32, queries.Rows), Score: make([][]float64, queries.Rows)}
+	for i := 0; i < queries.Rows; i++ {
+		q := queries.Row(i)
+		type cand struct {
+			id    int32
+			score float64
+		}
+		all := make([]cand, data.Rows)
+		for j := range all {
+			var s float64
+			for l, v := range q {
+				s += v * data.Row(j)[l]
+			}
+			all[j] = cand{int32(j), s}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].score != all[b].score {
+				return all[a].score > all[b].score
+			}
+			return all[a].id < all[b].id
+		})
+		out.Idx[i] = make([]int32, k)
+		out.Score[i] = make([]float64, k)
+		for p := 0; p < k; p++ {
+			out.Idx[i][p] = all[p].id
+			out.Score[i][p] = all[p].score
+		}
+	}
+	return out
+}
+
+// TestExactPathMatchesBruteForce: a full-probe index (the exactness
+// escape hatch) reproduces the brute-force ranking bit for bit.
+func TestExactPathMatchesBruteForce(t *testing.T) {
+	data := randRows(90, 6, 1)
+	queries := randRows(40, 6, 2)
+	ix := New(Params{Bits: 4, Probes: 16, Seed: 7})
+	if !ix.Params().Exact() {
+		t.Fatal("probes = 2^bits should select the exact path")
+	}
+	ix.Fit(data, 1)
+	got := ix.TopK(queries, 5, 1)
+	want := bruteTopK(queries, data, 5)
+	if !reflect.DeepEqual(got.Idx, want.Idx) || !reflect.DeepEqual(got.Score, want.Score) {
+		t.Fatalf("exact index deviates from brute force\ngot  %v\nwant %v", got.Idx[:3], want.Idx[:3])
+	}
+}
+
+// TestHashedFullGatherMatchesBruteForce: with k = n the hashed path must
+// keep probing until the pool covers every row, so the multi-probe
+// enumeration exercises every bucket and the output equals brute force —
+// a structural test of the CSR buckets and the probe sequence.
+func TestHashedFullGatherMatchesBruteForce(t *testing.T) {
+	data := randRows(120, 5, 3)
+	queries := randRows(30, 5, 4)
+	ix := New(Params{Bits: 5, Probes: 1, Seed: 9})
+	if ix.Params().Exact() {
+		t.Fatal("1 probe of 32 buckets must be approximate")
+	}
+	ix.Fit(data, 1)
+	got := ix.TopK(queries, data.Rows, 1)
+	want := bruteTopK(queries, data, data.Rows)
+	if !reflect.DeepEqual(got.Idx, want.Idx) || !reflect.DeepEqual(got.Score, want.Score) {
+		t.Fatal("k = n forces a full gather; result must equal brute force")
+	}
+}
+
+// TestDeterministicAcrossWorkers: worker count is a pure perf knob.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	data := randRows(400, 8, 5)
+	queries := randRows(333, 8, 6)
+	run := func(workers int) *Result {
+		ix := New(Params{Bits: 6, Probes: 12, Seed: 11})
+		ix.Fit(data, workers)
+		return ix.TopK(queries, 10, workers)
+	}
+	base := run(1)
+	for _, w := range []int{2, 3, 8} {
+		got := run(w)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d changed the result", w)
+		}
+	}
+}
+
+// TestRefitReusesIndex: a loop re-fitting new data into one index (the
+// fine-tuning pattern) must behave like a fresh index each time.
+func TestRefitReusesIndex(t *testing.T) {
+	ix := New(Params{Bits: 5, Probes: 8, Seed: 13})
+	for round := int64(0); round < 3; round++ {
+		data := randRows(150, 7, 20+round)
+		queries := randRows(60, 7, 30+round)
+		ix.Fit(data, 2)
+		got := ix.TopK(queries, 6, 2)
+		fresh := New(Params{Bits: 5, Probes: 8, Seed: 13})
+		fresh.Fit(data, 1)
+		want := fresh.TopK(queries, 6, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: reused index deviates from a fresh one", round)
+		}
+	}
+}
+
+// TestProbeFloorGuaranteesFullRows: even with a tiny probe floor every
+// result row holds exactly k entries — queries keep probing until their
+// pool reaches k.
+func TestProbeFloorGuaranteesFullRows(t *testing.T) {
+	data := randRows(200, 6, 8)
+	queries := randRows(50, 6, 9)
+	ix := New(Params{Bits: 7, Probes: 1, Seed: 3})
+	ix.Fit(data, 1)
+	k := 25
+	res := ix.TopK(queries, k, 1)
+	for i, row := range res.Idx {
+		if len(row) != k {
+			t.Fatalf("query %d gathered only %d of %d candidates", i, len(row), k)
+		}
+		seen := map[int32]bool{}
+		for _, j := range row {
+			if seen[j] {
+				t.Fatalf("query %d: duplicate candidate %d", i, j)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+// TestAutoParams pins the resolution rules the config layer documents.
+func TestAutoParams(t *testing.T) {
+	cases := []struct {
+		n, bits int
+	}{
+		{1, 4}, {256, 4}, {300, 5}, {5000, 9}, {100000, 13}, {1 << 30, MaxBits},
+	}
+	for _, tc := range cases {
+		if got := AutoBits(tc.n); got != tc.bits {
+			t.Errorf("AutoBits(%d) = %d, want %d", tc.n, got, tc.bits)
+		}
+	}
+	if got := AutoProbes(4); got != 16 {
+		t.Errorf("AutoProbes(4) = %d, want 16 (capped at the bucket count)", got)
+	}
+	if got := AutoProbes(6); got != 64 {
+		t.Errorf("AutoProbes(6) = %d, want 64 (capped at the bucket count)", got)
+	}
+	if got := AutoProbes(13); got != 208 {
+		t.Errorf("AutoProbes(13) = %d, want 208", got)
+	}
+	if !(Params{Bits: 4, Probes: AutoProbes(4)}).Exact() {
+		t.Error("auto probes at 4 bits should reach every bucket (exact)")
+	}
+}

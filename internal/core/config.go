@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/htc-align/htc/internal/ann"
 	"github.com/htc-align/htc/internal/orbit"
 )
 
@@ -96,14 +97,16 @@ func (v *Variant) UnmarshalText(text []byte) error {
 
 // SimBackend selects how the pipeline represents similarity/alignment
 // scores: the full dense ns×nt matrix, the blocked top-k candidate
-// structure (O(n·k) memory), or an automatic choice by pair size.
+// structure (O(n·k) memory), the LSH-accelerated approximate candidate
+// generator, or an automatic choice by pair size.
 type SimBackend int
 
 // The similarity backends.
 const (
 	// SimAuto picks the backend from the pair size: dense while the
 	// score matrices stay comfortably in memory, top-k beyond (see
-	// autoDenseCells).
+	// autoDenseCells), and the approximate ANN generator once even the
+	// exact blocked scan turns quadratic-infeasible (autoAnnCells).
 	SimAuto SimBackend = iota
 	// SimDense always materialises full ns×nt score matrices — exact,
 	// and the right choice for small pairs.
@@ -112,6 +115,13 @@ const (
 	// CandidateK counterparts. Memory drops from O(n²) to O(n·k); with
 	// k ≥ max(ns, nt) it is bit-identical to dense.
 	SimTopK
+	// SimANN keeps the top-k representation but generates the candidate
+	// lists through a signed-random-projection LSH index instead of the
+	// exact blocked scan: compute drops from O(ns·nt) score cells to
+	// hashing plus an exact re-rank of each node's probed pool. Recall
+	// against the exact lists is tunable via AnnBits/AnnProbes, and with
+	// AnnProbes ≥ 2^AnnBits the run is bit-identical to SimTopK.
+	SimANN
 )
 
 // String names the backend as it appears in configs and results.
@@ -123,12 +133,14 @@ func (s SimBackend) String() string {
 		return "dense"
 	case SimTopK:
 		return "topk"
+	case SimANN:
+		return "ann"
 	}
 	return fmt.Sprintf("SimBackend(%d)", int(s))
 }
 
 // ParseSimBackend resolves a backend name ("auto", "dense", "topk",
-// case-insensitive, empty = auto).
+// "ann", case-insensitive, empty = auto).
 func ParseSimBackend(s string) (SimBackend, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "", "auto":
@@ -137,15 +149,21 @@ func ParseSimBackend(s string) (SimBackend, error) {
 		return SimDense, nil
 	case "topk", "top-k", "sparse":
 		return SimTopK, nil
+	case "ann", "lsh":
+		return SimANN, nil
 	}
-	return SimAuto, fmt.Errorf("core: unknown similarity backend %q (want auto, dense or topk)", s)
+	return SimAuto, fmt.Errorf("core: unknown similarity backend %q (want auto, dense, topk or ann)", s)
 }
+
+// SimBackends lists every similarity backend in definition order — the
+// roster the server's capabilities endpoint advertises.
+func SimBackends() []SimBackend { return []SimBackend{SimAuto, SimDense, SimTopK, SimANN} }
 
 // MarshalText encodes the backend by name, so JSON configs say "topk"
 // rather than an opaque enum number.
 func (s SimBackend) MarshalText() ([]byte, error) {
 	switch s {
-	case SimAuto, SimDense, SimTopK:
+	case SimAuto, SimDense, SimTopK, SimANN:
 		return []byte(s.String()), nil
 	}
 	return nil, fmt.Errorf("core: cannot marshal unknown similarity backend %d", int(s))
@@ -209,11 +227,22 @@ type Config struct {
 	// pairs and evaluation to each node's candidate list (exact when
 	// CandidateK ≥ max(ns, nt)).
 	Similarity SimBackend `json:"similarity,omitempty"`
-	// CandidateK is the per-node candidate count of the top-k backend
-	// (0 = automatic: max(32, 2·M), clamped to the pair size). It must
-	// not be negative; Align rejects negative values. Ignored by the
-	// dense backend.
+	// CandidateK is the per-node candidate count of the top-k and ANN
+	// backends (0 = automatic: max(32, 2·M), clamped to the pair size).
+	// It must not be negative, and setting it alongside a resolved dense
+	// backend is rejected rather than silently ignored (ErrIgnoredSimKnob).
 	CandidateK int `json:"candidate_k,omitempty"`
+	// AnnBits is the LSH code width of the ANN backend: 2^AnnBits hash
+	// buckets (0 = automatic, sized from the pair: see ann.AutoBits; max
+	// ann.MaxBits). Only meaningful when the run resolves to SimANN —
+	// setting it under another backend is rejected (ErrIgnoredSimKnob).
+	AnnBits int `json:"ann_bits,omitempty"`
+	// AnnProbes is the number of hash buckets the ANN backend scans per
+	// query, in the margin-ordered multi-probe sequence (0 = automatic:
+	// see ann.AutoProbes). AnnProbes ≥ 2^AnnBits is the exactness escape
+	// hatch: every bucket is scanned and the run is bit-identical to
+	// SimTopK. Like AnnBits, it is rejected under other backends.
+	AnnProbes int `json:"ann_probes,omitempty"`
 	// Seed drives every random choice (weight init); equal seeds give
 	// bit-identical runs.
 	Seed int64 `json:"seed,omitempty"`
@@ -295,21 +324,32 @@ func (c Config) withDefaults() Config {
 // the dense working set grows quadratically while top-k stays O(n·k).
 const autoDenseCells = 1 << 24
 
+// autoAnnCells is the second SimAuto crossover: past this many score
+// cells (≈ 32k×32k) even the exact blocked top-k scan — O(ns·nt)
+// compute, if not memory — dominates the run, so SimAuto switches to the
+// ANN candidate generator. The auto probe budget keeps measured recall
+// against the exact lists ≥ 0.95 (see internal/ann).
+const autoAnnCells = 1 << 30
+
 // ResolveSimilarity resolves the configured backend against a concrete
-// pair size: SimAuto picks dense or top-k by cell count, and the top-k
-// candidate count defaults to max(32, 2·M) clamped to the larger side.
-// The returned backend is never SimAuto; k is 0 for the dense backend.
+// pair size: SimAuto picks dense, top-k or ann by cell count, and the
+// candidate count of the non-dense backends defaults to max(32, 2·M)
+// clamped to the larger side. The returned backend is never SimAuto; k
+// is 0 for the dense backend.
 func (c Config) ResolveSimilarity(ns, nt int) (backend SimBackend, k int) {
 	c = c.withDefaults()
 	backend = c.Similarity
 	if backend == SimAuto {
-		if int64(ns)*int64(nt) > autoDenseCells {
+		switch cells := int64(ns) * int64(nt); {
+		case cells > autoAnnCells:
+			backend = SimANN
+		case cells > autoDenseCells:
 			backend = SimTopK
-		} else {
+		default:
 			backend = SimDense
 		}
 	}
-	if backend != SimTopK {
+	if backend != SimTopK && backend != SimANN {
 		return SimDense, 0
 	}
 	k = c.CandidateK
@@ -329,7 +369,64 @@ func (c Config) ResolveSimilarity(ns, nt int) (backend SimBackend, k int) {
 	if k < 1 {
 		k = 1
 	}
-	return SimTopK, k
+	return backend, k
+}
+
+// ResolveAnn resolves the ANN index parameters against a concrete pair
+// size: zero AnnBits sizes the code width from the larger side
+// (ann.AutoBits — both directions of the fine-tuning loop index one of
+// the two sides), zero AnnProbes picks the recall-calibrated default
+// (ann.AutoProbes). Meaningful only when ResolveSimilarity returns
+// SimANN.
+func (c Config) ResolveAnn(ns, nt int) (bits, probes int) {
+	bits = c.AnnBits
+	if bits <= 0 {
+		max := ns
+		if nt > max {
+			max = nt
+		}
+		bits = ann.AutoBits(max)
+	}
+	probes = c.AnnProbes
+	if probes <= 0 {
+		probes = ann.AutoProbes(bits)
+	}
+	return bits, probes
+}
+
+// ValidateSimilarity checks the similarity knobs for contradictions —
+// out-of-range values, and knobs that the resolved backend would
+// silently ignore (a config bug better rejected than swallowed). With a
+// concrete pair size the check runs against the backend the run would
+// actually resolve to; with ns = nt = 0 (no pair at hand yet) only
+// size-independent contradictions are reported, so a sizeless check
+// never rejects a config a later sized check would accept.
+func (c Config) ValidateSimilarity(ns, nt int) error {
+	if c.CandidateK < 0 {
+		return fmt.Errorf("%w: candidate_k = %d", ErrBadCandidateK, c.CandidateK)
+	}
+	if c.AnnBits < 0 || c.AnnBits > ann.MaxBits {
+		return fmt.Errorf("%w: ann_bits = %d (want 0 for automatic, or 1..%d)", ErrBadAnnParam, c.AnnBits, ann.MaxBits)
+	}
+	if c.AnnProbes < 0 {
+		return fmt.Errorf("%w: ann_probes = %d (want 0 for automatic, or ≥ 1)", ErrBadAnnParam, c.AnnProbes)
+	}
+	backend := c.Similarity
+	if backend == SimAuto {
+		if ns == 0 && nt == 0 {
+			// No pair size: auto could legitimately resolve to any
+			// backend, so no ignored-knob conclusion can be drawn.
+			return nil
+		}
+		backend, _ = c.ResolveSimilarity(ns, nt)
+	}
+	if backend == SimDense && c.CandidateK > 0 {
+		return fmt.Errorf("%w: candidate_k = %d but the %s backend scores every pair", ErrIgnoredSimKnob, c.CandidateK, backend)
+	}
+	if backend != SimANN && (c.AnnBits > 0 || c.AnnProbes > 0) {
+		return fmt.Errorf("%w: ann_bits/ann_probes set but the resolved backend is %s, not ann", ErrIgnoredSimKnob, backend)
+	}
+	return nil
 }
 
 // StageTimings decomposes a run's wall-clock time into the stages of the

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/htc-align/htc/internal/align"
+	"github.com/htc-align/htc/internal/ann"
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/graph"
 	"github.com/htc-align/htc/internal/nn"
@@ -27,6 +28,16 @@ var ErrBadAttrs = errors.New("core: attributes contain non-finite values")
 // ErrBadCandidateK reports a negative top-k candidate count (0 selects
 // the automatic default; anything below is a caller bug).
 var ErrBadCandidateK = errors.New("core: candidate_k must be ≥ 1 (or 0 for the automatic default)")
+
+// ErrBadAnnParam reports an out-of-range ANN knob (negative, or a code
+// width beyond ann.MaxBits).
+var ErrBadAnnParam = errors.New("core: invalid ann parameter")
+
+// ErrIgnoredSimKnob reports a similarity knob that the resolved backend
+// would silently ignore — candidate_k under dense, ann_bits/ann_probes
+// under dense or topk. Rejecting the contradiction beats pretending the
+// knob took effect.
+var ErrIgnoredSimKnob = errors.New("core: similarity knob ignored by the resolved backend")
 
 // OrbitOutcome summarises one orbit's contribution to the final alignment.
 type OrbitOutcome struct {
@@ -53,12 +64,16 @@ type Result struct {
 	// consumers (Predict, matching, evaluation) go through it.
 	Sim align.Sim
 	// SimBackend names the similarity backend the run resolved to
-	// ("dense" or "topk") — SimAuto configs report their concrete
+	// ("dense", "topk" or "ann") — SimAuto configs report their concrete
 	// choice.
 	SimBackend string
-	// CandidateK is the per-node candidate count of a top-k run (0 on
-	// dense runs).
+	// CandidateK is the per-node candidate count of a top-k or ann run
+	// (0 on dense runs).
 	CandidateK int
+	// AnnBits and AnnProbes are the resolved LSH parameters of an ann
+	// run — the code width and multi-probe budget actually used, whether
+	// configured or auto-sized (0 on dense and topk runs).
+	AnnBits, AnnProbes int
 	// PerOrbit reports each orbit's trusted-pair count and weight,
 	// ordered by orbit index — the data behind the paper's Fig. 6.
 	PerOrbit []OrbitOutcome
@@ -181,8 +196,8 @@ func (p *Prepared) Align(cfg Config) (*Result, error) {
 // AlignContext is Prepared.Align with cooperative cancellation, with the
 // same promptness contract as the package-level AlignContext.
 func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error) {
-	if cfg.CandidateK < 0 {
-		return nil, fmt.Errorf("%w: candidate_k = %d", ErrBadCandidateK, cfg.CandidateK)
+	if err := cfg.ValidateSimilarity(p.gs.N(), p.gt.N()); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
@@ -245,6 +260,12 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	backend, candidateK := cfg.ResolveSimilarity(p.gs.N(), p.gt.N())
 	res.SimBackend = backend.String()
 	res.CandidateK = candidateK
+	var annParams ann.Params
+	if backend == SimANN {
+		bits, probes := cfg.ResolveAnn(p.gs.N(), p.gt.N())
+		res.AnnBits, res.AnnProbes = bits, probes
+		annParams = ann.Params{Bits: bits, Probes: probes, Seed: cfg.Seed}
+	}
 	// Each in-flight fine-tune holds its similarity working set — a few
 	// ns×nt buffers on the dense backend, O((ns+nt)·k) candidate
 	// structures on top-k — so on huge pairs the fan-out is additionally
@@ -256,7 +277,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 		slots = k
 	}
 	outer, inner := par.SplitOuterInner(workers, slots)
-	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Workers: inner, TopK: candidateK, KeepEmbeddings: cfg.KeepEmbeddings, Ctx: ctx}
+	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Workers: inner, TopK: candidateK, Ann: annParams, KeepEmbeddings: cfg.KeepEmbeddings, Ctx: ctx}
 	if !cfg.Variant.usesFineTune() {
 		ftCfg.MaxIters = 1 // single pass: score + trusted count, no reinforcement rounds
 		ftCfg.KnownPairs = nil

@@ -143,6 +143,10 @@ func TestResolveSimilarity(t *testing.T) {
 		{"explicit k wins", Config{Similarity: SimTopK, CandidateK: 7}, 100, 80, SimTopK, 7},
 		{"k clamped to pair size", Config{Similarity: SimTopK, CandidateK: 500}, 100, 80, SimTopK, 100},
 		{"default k floors at 32", Config{Similarity: SimTopK, M: 5}, 5000, 5000, SimTopK, 32},
+		{"forced ann on small pair", Config{Similarity: SimANN}, 100, 80, SimANN, 40},
+		{"auto huge flips to ann", Config{}, 40000, 40000, SimANN, 40},
+		{"auto mid-size stays topk", Config{}, 30000, 30000, SimTopK, 40},
+		{"explicit k wins on ann", Config{Similarity: SimANN, CandidateK: 7}, 100, 80, SimANN, 7},
 	}
 	for _, tc := range cases {
 		b, k := tc.cfg.ResolveSimilarity(tc.ns, tc.nt)
@@ -158,7 +162,7 @@ func TestSimBackendJSON(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
 		want SimBackend
-	}{{"auto", SimAuto}, {"dense", SimDense}, {"topk", SimTopK}, {"TOP-K", SimTopK}} {
+	}{{"auto", SimAuto}, {"dense", SimDense}, {"topk", SimTopK}, {"TOP-K", SimTopK}, {"ann", SimANN}, {"LSH", SimANN}} {
 		got, err := ParseSimBackend(tc.in)
 		if err != nil || got != tc.want {
 			t.Errorf("ParseSimBackend(%q) = %v, %v", tc.in, got, err)

@@ -38,12 +38,16 @@ type Options struct {
 	// stderr logger). Baseline methods don't report progress.
 	Progress core.Observer
 	// Similarity selects the similarity backend every HTC run uses
-	// (auto/dense/topk; the htc-experiments -sim flag). Baselines are
-	// untouched — the knob exists to measure the top-k approximation
-	// against the paper numbers.
+	// (auto/dense/topk/ann; the htc-experiments -sim flag). Baselines are
+	// untouched — the knob exists to measure the top-k and ANN
+	// approximations against the paper numbers.
 	Similarity core.SimBackend
 	// CandidateK is the top-k candidate count (0 = automatic).
 	CandidateK int
+	// AnnBits and AnnProbes tune the ANN backend's LSH index (0 =
+	// automatic; the htc-experiments -ann-bits/-ann-probes flags).
+	AnnBits   int
+	AnnProbes int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +70,7 @@ func (o Options) htcConfig() core.Config {
 	return core.Config{
 		Hidden: 64, Embed: 32, Epochs: o.Epochs, Seed: o.Seed, Progress: o.Progress,
 		Similarity: o.Similarity, CandidateK: o.CandidateK,
+		AnnBits: o.AnnBits, AnnProbes: o.AnnProbes,
 	}
 }
 

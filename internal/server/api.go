@@ -14,6 +14,7 @@
 //	GET    /v1/datasets/{id} uploaded dataset metadata
 //	DELETE /v1/datasets/{id} remove an uploaded dataset
 //	GET    /v1/datasets      list built-in and uploaded datasets
+//	GET    /v1/capabilities  feature roster: backends, formats, variants
 //	GET    /v1/healthz       liveness + queue occupancy
 //	GET    /v1/metrics       Prometheus text metrics
 //
@@ -157,11 +158,11 @@ func (r *AlignRequest) validate(maxNodes int, store *datasetStore) error {
 	if len(r.HitsAt) > 16 {
 		return fmt.Errorf("at most 16 hits_at cutoffs, got %d", len(r.HitsAt))
 	}
-	if err := validateSimilarity(r.Config); err != nil {
+	if err := validateSimilarity(r.Config, r.builtPair); err != nil {
 		return err
 	}
 	for i, cfg := range r.Configs {
-		if err := validateSimilarity(cfg); err != nil {
+		if err := validateSimilarity(cfg, r.builtPair); err != nil {
 			return fmt.Errorf("configs[%d]: %w", i, err)
 		}
 	}
@@ -221,14 +222,19 @@ func (r *AlignRequest) buildInline(maxNodes int) error {
 	return nil
 }
 
-// validateSimilarity rejects unusable top-k settings at admission: a
-// candidate count below 1 can never run (0 is the JSON zero value and
-// therefore means "unset, use the automatic default").
-func validateSimilarity(cfg core.Config) error {
-	if cfg.CandidateK < 0 {
-		return fmt.Errorf("candidate_k must be ≥ 1 (got %d); omit it for the automatic default", cfg.CandidateK)
+// validateSimilarity rejects contradictory similarity settings at
+// admission — out-of-range knobs, and knobs the resolved backend would
+// silently ignore (candidate_k under dense, ann_bits/ann_probes under
+// dense or topk). Inline and uploaded pairs are already materialised at
+// this point, so the check runs against the backend the run will
+// actually resolve to; built-in generator requests check sizelessly (the
+// worker's AlignContext re-checks against the concrete pair).
+func validateSimilarity(cfg core.Config, pair *datasets.Pair) error {
+	var ns, nt int
+	if pair != nil {
+		ns, nt = pair.Source.N(), pair.Target.N()
 	}
-	return nil
+	return cfg.ValidateSimilarity(ns, nt)
 }
 
 // MaxSweepConfigs bounds how many configurations one sweep may carry:
@@ -342,12 +348,16 @@ type AlignResult struct {
 	// requested config.workers capped at the server's per-job share of
 	// the machine (GOMAXPROCS divided by the worker-pool size).
 	WorkersUsed int `json:"workers_used,omitempty"`
-	// SimBackend is the similarity backend the run resolved to ("dense"
-	// or "topk") — auto configs report their concrete choice.
+	// SimBackend is the similarity backend the run resolved to ("dense",
+	// "topk" or "ann") — auto configs report their concrete choice.
 	SimBackend string `json:"sim_backend"`
-	// CandidateK is the per-node candidate count of a top-k run (absent
-	// on dense runs).
+	// CandidateK is the per-node candidate count of a top-k or ann run
+	// (absent on dense runs).
 	CandidateK int `json:"candidate_k,omitempty"`
+	// AnnBits and AnnProbes are the resolved LSH parameters of an ann
+	// run — configured or auto-sized (absent on dense and topk runs).
+	AnnBits   int `json:"ann_bits,omitempty"`
+	AnnProbes int `json:"ann_probes,omitempty"`
 	// Cached reports that the result was served from the content-hash
 	// cache rather than recomputed.
 	Cached bool `json:"cached"`
@@ -380,6 +390,32 @@ type SweepResult struct {
 	PreparedCached bool `json:"prepared_cached"`
 	// Results holds one entry per requested config, in request order.
 	Results []SweepEntry `json:"results"`
+}
+
+// SimBackendInfo describes one similarity backend in the capabilities
+// payload: its config name and the config knobs it accepts.
+type SimBackendInfo struct {
+	Name  string   `json:"name"`
+	Knobs []string `json:"knobs,omitempty"`
+}
+
+// Capabilities is the payload of GET /v1/capabilities: the feature
+// roster of this server build, so clients can discover what a config may
+// say instead of probing for 400s.
+type Capabilities struct {
+	// SimilarityBackends lists the accepted config.similarity values and
+	// the knobs each backend accepts.
+	SimilarityBackends []SimBackendInfo `json:"similarity_backends"`
+	// IngestFormats lists the registered dataset upload formats.
+	IngestFormats []string `json:"ingest_formats"`
+	// Variants lists the pipeline ablations by paper name.
+	Variants []string `json:"variants"`
+	// Datasets lists the built-in dataset generators.
+	Datasets []string `json:"datasets"`
+	// MaxNodes is the per-graph admission limit (0 = unlimited).
+	MaxNodes int `json:"max_nodes"`
+	// MaxSweepConfigs bounds the configs list of one sweep.
+	MaxSweepConfigs int `json:"max_sweep_configs"`
 }
 
 // ProgressInfo is the live progress block of a running job, mirrored from

@@ -210,6 +210,47 @@ func TestV1GoldenDatasets(t *testing.T) {
 	checkGolden(t, "dataset_align_job_done.golden", doneBlob)
 }
 
+// TestV1GoldenCapabilities locks the discovery payload: adding a backend
+// or format is a deliberate fixture update, never an accident.
+func TestV1GoldenCapabilities(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/capabilities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capabilities: %d\n%s", resp.StatusCode, blob)
+	}
+	checkGolden(t, "capabilities.golden", blob)
+}
+
+// TestV1GoldenError locks the uniform error envelope every /v1 endpoint
+// answers with: {"error":{"code","message"}}.
+func TestV1GoldenError(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	body := `{"dataset":"synthetic","config":{"similarity":"dense","candidate_k":8}}`
+	resp, err := http.Post(ts.URL+"/v1/align", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("expected 400, got %d\n%s", resp.StatusCode, blob)
+	}
+	checkGolden(t, "error_bad_request.golden", blob)
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = readAll(resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expected 404, got %d\n%s", resp.StatusCode, blob)
+	}
+	checkGolden(t, "error_not_found.golden", blob)
+}
+
 func readAll(resp *http.Response) ([]byte, error) {
 	defer resp.Body.Close()
 	var buf bytes.Buffer

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+
+	"github.com/htc-align/htc/internal/core"
 )
 
 // Metrics holds the service counters, exposed in Prometheus text format
@@ -34,18 +36,27 @@ type Metrics struct {
 	DatasetUploads   atomic.Int64
 	DatasetEvictions atomic.Int64
 	DatasetAlignRuns atomic.Int64
-	// SimDenseRuns/SimTopKRuns count completed pipeline runs per
-	// similarity backend (auto configs count under the backend they
-	// resolved to), so operators can see the dense/top-k mix their
-	// traffic actually exercises.
-	SimDenseRuns atomic.Int64
-	SimTopKRuns  atomic.Int64
+	// SimDenseRuns/SimTopKRuns/SimAnnRuns count completed pipeline runs
+	// per similarity backend (auto configs count under the backend they
+	// resolved to), so operators can see the backend mix their traffic
+	// actually exercises. SimAnnExactRuns additionally counts the ann
+	// runs whose probe budget covered every bucket — the exactness
+	// escape hatch, where "approximate" traffic was in fact exact.
+	SimDenseRuns    atomic.Int64
+	SimTopKRuns     atomic.Int64
+	SimAnnRuns      atomic.Int64
+	SimAnnExactRuns atomic.Int64
 }
 
 // recordBackend tallies one completed pipeline run under its resolved
 // similarity backend.
-func (m *Metrics) recordBackend(backend string) {
-	switch backend {
+func (m *Metrics) recordBackend(res *core.Result) {
+	switch res.SimBackend {
+	case "ann":
+		m.SimAnnRuns.Add(1)
+		if res.AnnBits > 0 && res.AnnProbes >= 1<<res.AnnBits {
+			m.SimAnnExactRuns.Add(1)
+		}
 	case "topk":
 		m.SimTopKRuns.Add(1)
 	default:
@@ -74,6 +85,8 @@ func (m *Metrics) writePrometheus(w io.Writer, extras map[string]float64) {
 	counter("htc_dataset_align_runs_total", "Pipeline runs resolved from an uploaded dataset.", m.DatasetAlignRuns.Load())
 	counter("htc_sim_dense_runs_total", "Pipeline runs that used the dense similarity backend.", m.SimDenseRuns.Load())
 	counter("htc_sim_topk_runs_total", "Pipeline runs that used the top-k similarity backend.", m.SimTopKRuns.Load())
+	counter("htc_sim_ann_runs_total", "Pipeline runs that used the approximate (LSH) similarity backend.", m.SimAnnRuns.Load())
+	counter("htc_sim_ann_exact_runs_total", "ANN runs whose probe budget covered every bucket (exactness escape hatch).", m.SimAnnExactRuns.Load())
 	fmt.Fprintf(w, "# HELP htc_jobs_running Jobs currently holding a worker.\n# TYPE htc_jobs_running gauge\nhtc_jobs_running %d\n", m.JobsRunning.Load())
 	names := make([]string, 0, len(extras))
 	for name := range extras {

@@ -110,6 +110,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
 	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -183,7 +184,7 @@ func (s *Server) runJob(ctx context.Context, job *Job) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.metrics.recordBackend(res.SimBackend)
+	s.metrics.recordBackend(res)
 	if !prepHit {
 		// This job paid the eager artifact build inside Prepare; fold it
 		// into the run's stage decomposition like the one-shot API does.
@@ -275,7 +276,7 @@ func (s *Server) runSweep(ctx context.Context, job *Job, pair *datasets.Pair) (*
 			entry.Error = err.Error()
 			continue
 		}
-		s.metrics.recordBackend(res.SimBackend)
+		s.metrics.recordBackend(res)
 		if foldPrep {
 			res.Timings.OrbitCounting += prep.PrepareTimings().OrbitCounting
 			res.Timings.Laplacians += prep.PrepareTimings().Laplacians
@@ -335,6 +336,8 @@ func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 		WorkersUsed:   res.Workers,
 		SimBackend:    res.SimBackend,
 		CandidateK:    res.CandidateK,
+		AnnBits:       res.AnnBits,
+		AnnProbes:     res.AnnProbes,
 	}
 	for src, tgt := range match {
 		if tgt >= 0 {
@@ -576,6 +579,36 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Info())
 }
 
+// handleCapabilities reports what this server build can do — the
+// similarity backend roster (with the ANN knobs each accepts), the
+// registered ingest formats, the pipeline variants and the admission
+// limits — so clients can discover features instead of probing for 400s.
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	backends := make([]SimBackendInfo, 0, len(core.SimBackends()))
+	for _, b := range core.SimBackends() {
+		info := SimBackendInfo{Name: b.String()}
+		switch b {
+		case core.SimTopK:
+			info.Knobs = []string{"candidate_k"}
+		case core.SimANN:
+			info.Knobs = []string{"candidate_k", "ann_bits", "ann_probes"}
+		}
+		backends = append(backends, info)
+	}
+	variants := make([]string, 0, len(core.Variants()))
+	for _, v := range core.Variants() {
+		variants = append(variants, v.String())
+	}
+	writeJSON(w, http.StatusOK, Capabilities{
+		SimilarityBackends: backends,
+		IngestFormats:      ingest.Formats(),
+		Variants:           variants,
+		Datasets:           Datasets(),
+		MaxNodes:           s.opts.MaxNodes,
+		MaxSweepConfigs:    MaxSweepConfigs,
+	})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	depth, capacity := s.queue.Depth()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -620,6 +653,40 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
+// ErrorBody is the uniform error envelope of every /v1 endpoint:
+//
+//	{"error": {"code": "bad_request", "message": "..."}}
+//
+// The code is a stable, machine-readable slug derived from the HTTP
+// status; the message is human-readable detail. Clients should branch on
+// the code (or the HTTP status), never on message text.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the inner object of the error envelope.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps an HTTP status to the envelope's stable slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "shutting_down"
+	}
+	return "internal"
+}
+
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+	writeJSON(w, code, ErrorBody{Error: ErrorDetail{Code: errorCode(code), Message: msg}})
 }

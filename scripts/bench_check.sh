@@ -1,41 +1,45 @@
 #!/usr/bin/env sh
 # Compare a fresh benchmark snapshot against a checked-in baseline and fail
 # when any shared benchmark regressed beyond the allowed factor — in time
-# (ns/op) or in allocated memory (B/op).
+# (ns/op), in allocated memory (B/op), or in allocation count (allocs/op).
 #
-# Usage: scripts/bench_check.sh baseline.json fresh.json [max-factor] [max-bytes-factor]
+# Usage: scripts/bench_check.sh baseline.json fresh.json [max-factor] [max-bytes-factor] [max-allocs-factor]
 #
 # Benchmarks are matched by name; entries present in only one file are
-# ignored (new benchmarks don't fail the gate), and the bytes gate only
-# fires when both snapshots recorded bytes_per_op. The default time factor
-# of 2 is deliberately loose: snapshots are single-iteration smoke
+# ignored (new benchmarks don't fail the gate), and the bytes/allocs gates
+# only fire when both snapshots recorded the series. The default time
+# factor of 2 is deliberately loose: snapshots are single-iteration smoke
 # timings, and the gate exists to catch order-of-magnitude mistakes (an
 # accidentally serial kernel, a reintroduced dense path), not
-# percent-level noise. Allocated bytes are deterministic-ish, so their
-# default factor is tighter (1.5) — a dense ns×nt matrix sneaking back
-# into the top-k path multiplies B/op far beyond that.
+# percent-level noise. Allocated bytes and allocation counts are
+# deterministic-ish, so their default factor is tighter (1.5) — a dense
+# ns×nt matrix sneaking back into the top-k path multiplies B/op far
+# beyond that, and a per-row (instead of per-block) scratch allocation
+# multiplies allocs/op the same way.
 set -eu
 
 baseline=$1
 fresh=$2
 factor=${3:-2.0}
 bytes_factor=${4:-1.5}
+allocs_factor=${5:-1.5}
 
-# Extract "name ns_per_op bytes_per_op" triples from the snapshot JSON
-# (one benchmark per line, as produced by bench_snapshot.sh; a missing
-# bytes_per_op becomes "-"). The -GOMAXPROCS suffix Go appends on
+# Extract "name ns_per_op bytes_per_op allocs_per_op" tuples from the
+# snapshot JSON (one benchmark per line, as produced by bench_snapshot.sh;
+# a missing series becomes "-"). The -GOMAXPROCS suffix Go appends on
 # multi-core hosts is stripped again here, so snapshots taken before that
 # normalisation (or hand-edited) still match by name.
 extract() {
 	tr ',' '\n' < "$1" | awk '
 		/"name"/ {
-			if (name != "") print name, ns, bytes
+			if (name != "") print name, ns, bytes, allocs
 			gsub(/.*"name": "|"/, ""); sub(/-[0-9]+$/, "")
-			name = $0; ns = "-"; bytes = "-"
+			name = $0; ns = "-"; bytes = "-"; allocs = "-"
 		}
-		/"ns_per_op"/    { gsub(/.*"ns_per_op": |}.*/, "");    ns = $0 }
-		/"bytes_per_op"/ { gsub(/.*"bytes_per_op": |}.*/, ""); bytes = $0 }
-		END { if (name != "") print name, ns, bytes }'
+		/"ns_per_op"/     { gsub(/.*"ns_per_op": |}.*/, "");     ns = $0 }
+		/"bytes_per_op"/  { gsub(/.*"bytes_per_op": |}.*/, "");  bytes = $0 }
+		/"allocs_per_op"/ { gsub(/.*"allocs_per_op": |}.*/, ""); allocs = $0 }
+		END { if (name != "") print name, ns, bytes, allocs }'
 }
 
 extract "$baseline" | sort > /tmp/bench_base.$$
@@ -43,11 +47,13 @@ extract "$fresh" | sort > /tmp/bench_fresh.$$
 
 fail=0
 compared=0
-while read -r name base basebytes; do
-	line=$(awk -v n="$name" '$1 == n { print $2, $3 }' /tmp/bench_fresh.$$)
+while read -r name base basebytes baseallocs; do
+	line=$(awk -v n="$name" '$1 == n { print $2, $3, $4 }' /tmp/bench_fresh.$$)
 	[ -z "$line" ] && continue
-	new=${line% *}
-	newbytes=${line#* }
+	set -- $line
+	new=$1
+	newbytes=$2
+	newallocs=$3
 	compared=$((compared + 1))
 	worse=$(awk -v b="$base" -v n="$new" -v f="$factor" 'BEGIN { print (n > b * f) ? 1 : 0 }')
 	if [ "$worse" = 1 ]; then
@@ -64,6 +70,16 @@ while read -r name base basebytes; do
 			fail=1
 		else
 			echo "ok: $name ${basebytes}B/op -> ${newbytes}B/op"
+		fi
+	fi
+	# Allocation-count gate, same contract as the bytes gate.
+	if [ "$baseallocs" != "-" ] && [ "$newallocs" != "-" ]; then
+		worse=$(awk -v b="$baseallocs" -v n="$newallocs" -v f="$allocs_factor" 'BEGIN { print (n > b * f) ? 1 : 0 }')
+		if [ "$worse" = 1 ]; then
+			echo "REGRESSION: $name ${baseallocs}allocs/op -> ${newallocs}allocs/op (allowed factor $allocs_factor)" >&2
+			fail=1
+		else
+			echo "ok: $name ${baseallocs}allocs/op -> ${newallocs}allocs/op"
 		fi
 	fi
 done < /tmp/bench_base.$$
