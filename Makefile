@@ -7,13 +7,20 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS = FuzzEdgeList FuzzAdjList FuzzJSON FuzzHTCGraph FuzzSniff FuzzTruth
 
-.PHONY: build test lint bench bench-snapshot bench-io bench-gate fuzz ci
+.PHONY: build test test-ann lint bench bench-snapshot bench-io bench-gate fuzz ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# The ANN index is the one subsystem with lock-free per-worker counters
+# merged across goroutines; run its suite explicitly under the race
+# detector (also covered by `test`, but kept addressable on its own so
+# index changes get a fast, targeted gate).
+test-ann:
+	$(GO) test -race -count=1 ./internal/ann/...
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -31,10 +38,10 @@ bench-snapshot:
 
 # Refresh the end-to-end pipeline baseline (BenchmarkAlign per variant,
 # workers=1 vs workers=max, the staged-API prepare-reuse sweep, the
-# large-pair top-k memory benchmark, and the 100k-node ingested-graph
-# ANN scale proof).
+# large-pair top-k memory benchmark, the 100k-node ingested-graph ANN
+# scale proof, and the skew-adversarial ANN pool benchmark).
 bench-pipeline:
-	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$|BenchmarkAnnSkewAdversarial$$'
 
 # Refresh the ingestion baseline: the 1M-edge edge-list parse and the
 # 100k-anchor ID-keyed truth resolution.
@@ -43,9 +50,10 @@ bench-io:
 
 # The CI regression gate: re-measure and compare against the checked-in
 # pipeline and ingestion baselines, failing on a >2x time, >1.5x
-# allocated-bytes or >1.5x allocation-count regression.
+# allocated-bytes, >1.5x allocation-count or >1.5x ANN pool-rows
+# regression.
 bench-gate:
-	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$|BenchmarkAnnSkewAdversarial$$'
 	./scripts/bench_check.sh BENCH_pipeline.json BENCH_pipeline.ci.json 2.0 1.5
 	./scripts/bench_snapshot.sh BENCH_io.ci.json ./internal/ingest/ 'BenchmarkEdgeList1M$$|BenchmarkTruth100K$$'
 	./scripts/bench_check.sh BENCH_io.json BENCH_io.ci.json 2.0 1.5
@@ -58,4 +66,4 @@ fuzz:
 		$(GO) test ./internal/ingest/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
-ci: lint build test fuzz bench bench-gate
+ci: lint build test test-ann fuzz bench bench-gate

@@ -8,6 +8,7 @@
 //	          [-variant HTC|HTC-L|HTC-H|HTC-LT|HTC-DT[,more...]] [-seed 1]
 //	          [-truth truth.txt] [-top 1] [-progress]
 //	          [-sim auto|dense|topk|ann] [-topk K] [-ann-bits B] [-ann-probes P]
+//	          [-ann-pool-cap C]
 //
 // -format selects the input reader; the default sniffs each file by
 // content, so SNAP-style edge lists, JSON GraphSpecs, adjacency lists
@@ -30,7 +31,11 @@
 // compute — the backend for huge graphs), auto (the default) picks by
 // pair size. -topk sets the per-node candidate count (0 = automatic);
 // -ann-bits/-ann-probes tune the LSH index (0 = automatic; setting
-// either implies -sim ann, and probes ≥ 2^bits reproduces topk exactly).
+// either implies -sim ann, and probes ≥ 2^bits reproduces topk exactly);
+// -ann-pool-cap bounds the per-query re-rank pool (0 = unbounded, also
+// implies -sim ann). ANN runs print a "# ann:" line with the index's
+// skew statistics — bucket balance, re-hashed hot buckets, mean/max
+// re-rank pool and the refit reuse ratio across fine-tune iterations.
 package main
 
 import (
@@ -62,6 +67,7 @@ func main() {
 	topk := flag.Int("topk", 0, "top-k candidate count per node (0 = automatic; implies -sim topk when set)")
 	annBits := flag.Int("ann-bits", 0, "ANN LSH code width in bits (0 = automatic; implies -sim ann when set)")
 	annProbes := flag.Int("ann-probes", 0, "ANN buckets probed per query (0 = automatic; implies -sim ann when set)")
+	annPoolCap := flag.Int("ann-pool-cap", 0, "ANN per-query re-rank pool bound (0 = unbounded; implies -sim ann when set)")
 	flag.Parse()
 
 	if *sourcePath == "" || *targetPath == "" {
@@ -75,7 +81,7 @@ func main() {
 	if *topk < 0 {
 		log.Fatalf("-topk must be ≥ 1 (got %d); 0 selects the automatic count", *topk)
 	}
-	if *annBits > 0 || *annProbes > 0 {
+	if *annBits > 0 || *annProbes > 0 || *annPoolCap > 0 {
 		if backend == htc.SimilarityAuto {
 			backend = htc.SimilarityANN
 		}
@@ -97,7 +103,7 @@ func main() {
 		variants = append(variants, v)
 	}
 
-	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes}
+	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap}
 	if *progress {
 		base.Progress = progressLogger()
 	}
@@ -135,6 +141,10 @@ func main() {
 		fmt.Printf("# aligned %d source nodes (%s) to %d target nodes (%s) (%s, %s)\n",
 			gs.N(), pair.SourceFormat, gt.N(), pair.TargetFormat, v, simNote)
 		fmt.Printf("# timings: %v\n", res.Timings)
+		if st := res.Ann; st != nil {
+			fmt.Printf("# ann: buckets=%d maxbucket=%d rehashed=%d pool-mean=%.1f pool-max=%d refit-reuse=%.2f\n",
+				st.Buckets, st.MaxBucket, st.RehashedBuckets, st.PoolRowsMean, st.PoolRowsMax, st.RefitReuseRatio)
+		}
 
 		if *top <= 1 {
 			for _, p := range res.PredictNames(pair.SourceIDs, pair.TargetIDs) {

@@ -6,6 +6,7 @@
 //	htc-experiments -run table1|table2|table3|fig6|fig7|fig8|fig9|fig10|fig11|all
 //	                [-scale 1.0] [-seed 1] [-epochs 0] [-progress]
 //	                [-sim auto|dense|topk|ann] [-topk K] [-ann-bits B] [-ann-probes P]
+//	                [-ann-pool-cap C]
 //	htc-experiments -source s.edges -target t.edges [-truth pairs.tsv]
 //	                [-format auto|htc-graph|edgelist|json|adjlist] ...
 //
@@ -16,7 +17,7 @@
 //
 // Scale shrinks the datasets proportionally (useful for quick runs);
 // epochs overrides training length (0 = defaults); -progress streams
-// per-stage pipeline progress to stderr. -sim/-topk/-ann-bits/-ann-probes
+// per-stage pipeline progress to stderr. -sim/-topk and the -ann-* flags
 // select and tune the HTC similarity backend (baselines are unaffected),
 // so the top-k and ANN approximations can be measured against the paper
 // numbers. Output is
@@ -53,6 +54,7 @@ func main() {
 	topk := flag.Int("topk", 0, "top-k candidate count per node (0 = automatic; implies -sim topk when set)")
 	annBits := flag.Int("ann-bits", 0, "ANN LSH code width in bits (0 = automatic; implies -sim ann when set)")
 	annProbes := flag.Int("ann-probes", 0, "ANN buckets probed per query (0 = automatic; implies -sim ann when set)")
+	annPoolCap := flag.Int("ann-pool-cap", 0, "ANN per-query re-rank pool bound (0 = unbounded; implies -sim ann when set)")
 	sourcePath := flag.String("source", "", "custom run: source graph file (any registered format)")
 	targetPath := flag.String("target", "", "custom run: target graph file")
 	format := flag.String("format", "", "custom run: input format (default: sniff by content)")
@@ -66,14 +68,14 @@ func main() {
 	if *topk < 0 {
 		log.Fatalf("-topk must be ≥ 1 (got %d); 0 selects the automatic count", *topk)
 	}
-	if *annBits > 0 || *annProbes > 0 {
+	if *annBits > 0 || *annProbes > 0 || *annPoolCap > 0 {
 		if backend == htc.SimilarityAuto {
 			backend = htc.SimilarityANN
 		}
 	} else if *topk > 0 && backend == htc.SimilarityAuto {
 		backend = htc.SimilarityTopK
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap}
 	if *progress {
 		o.Progress = stageLogger()
 	}

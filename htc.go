@@ -56,6 +56,10 @@ type Config = core.Config
 // Result is the outcome of an alignment run.
 type Result = core.Result
 
+// AnnStats is the skew-observability block of an ANN-backed Result:
+// hash balance, per-query pool work and incremental-refit reuse.
+type AnnStats = core.AnnStats
+
 // Variant selects an ablation of the pipeline (Table III).
 type Variant = core.Variant
 

@@ -47,13 +47,32 @@ func (s *annScratch) topK(hs, ht *dense.Matrix, k, workers int) *Candidates {
 	return &Candidates{K: r.K, Idx: r.Idx, Score: r.Score}
 }
 
+// stats returns the scratch's accumulated index statistics; the zero
+// block if the index was never built.
+func (s *annScratch) stats() ann.Stats {
+	if s.ix == nil {
+		return ann.Stats{}
+	}
+	return s.ix.Stats()
+}
+
 // ANNCandidates computes every source row's approximately top-k most
 // Pearson-similar target rows through an LSH index — the sub-quadratic
 // alternative to TopKCandidates. With p.Probes ≥ 2^p.Bits (the exactness
-// escape hatch) the output is bit-identical to TopKCandidates.
-func ANNCandidates(hs, ht *dense.Matrix, k int, p ann.Params) *Candidates {
+// escape hatch) the output is bit-identical to TopKCandidates. Workers
+// follows the TopKCandidates contract: 0 means every core, and the
+// result is identical for every worker count.
+func ANNCandidates(hs, ht *dense.Matrix, k int, p ann.Params, workers int) *Candidates {
+	c, _ := ANNCandidatesStats(hs, ht, k, p, workers)
+	return c
+}
+
+// ANNCandidatesStats is ANNCandidates returning the index's
+// skew-observability block alongside the candidates.
+func ANNCandidatesStats(hs, ht *dense.Matrix, k int, p ann.Params, workers int) (*Candidates, ann.Stats) {
 	s := &annScratch{p: p}
-	return s.topK(hs, ht, k, 0)
+	c := s.topK(hs, ht, k, workers)
+	return c, s.stats()
 }
 
 // CandidateRecall measures how much of the exact candidate set an

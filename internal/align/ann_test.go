@@ -1,6 +1,7 @@
 package align
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -42,7 +43,7 @@ func TestANNExactnessEscapeHatch(t *testing.T) {
 				k = n
 			}
 			exact := TopKCandidates(hs, ht, k)
-			hatch := ANNCandidates(hs, ht, k, ann.Params{Bits: 4, Probes: 1 << 4, Seed: seed})
+			hatch := ANNCandidates(hs, ht, k, ann.Params{Bits: 4, Probes: 1 << 4, Seed: seed}, 2)
 			if !reflect.DeepEqual(exact, hatch) {
 				t.Fatalf("n=%d seed=%d: full-probe ANN deviates from exact top-k", n, seed)
 			}
@@ -68,7 +69,7 @@ func TestANNRecallProperty(t *testing.T) {
 			bits := ann.AutoBits(tc.nt)
 			p := ann.Params{Bits: bits, Probes: ann.AutoProbes(bits), Seed: seed}
 			exact := TopKCandidates(hs, ht, k)
-			approx := ANNCandidates(hs, ht, k, p)
+			approx := ANNCandidates(hs, ht, k, p, 0)
 			rec := CandidateRecall(approx, exact)
 			if rec < worst {
 				worst = rec
@@ -90,7 +91,7 @@ func TestANNRecallApproximatePath(t *testing.T) {
 	k := 32
 	p := ann.Params{Bits: 9, Probes: 144, Seed: 3} // 144 of 512 buckets
 	exact := TopKCandidates(hs, ht, k)
-	approx := ANNCandidates(hs, ht, k, p)
+	approx := ANNCandidates(hs, ht, k, p, 2)
 	rec := CandidateRecall(approx, exact)
 	t.Logf("approximate-path recall (144/512 buckets probed): %.4f", rec)
 	if rec < 0.95 {
@@ -98,6 +99,103 @@ func TestANNRecallApproximatePath(t *testing.T) {
 	}
 	if p.Exact() {
 		t.Fatal("test misconfigured: probes cover every bucket")
+	}
+}
+
+// skewEmbeddings fabricates GCN-collapse-shaped embeddings: every row is
+// ±√(1−ρ²)·v for one shared dominant direction v plus a ρ-scaled unit
+// residual from a rank-r subspace orthogonal to v. Raw SRP codes of such
+// rows pile into a few hot buckets; the ranking signal lives in the
+// residuals. Source and target share v and the subspace, like the two
+// sides of one fine-tune iteration.
+func skewEmbeddings(ns, nt, d, r int, rho float64, seed int64) (*dense.Matrix, *dense.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	basis := make([][]float64, r+1)
+	for b := range basis {
+		u := make([]float64, d)
+		for j := range u {
+			u[j] = rng.NormFloat64()
+		}
+		for _, prev := range basis[:b] {
+			var p float64
+			for j := range u {
+				p += u[j] * prev[j]
+			}
+			for j := range u {
+				u[j] -= p * prev[j]
+			}
+		}
+		var nrm float64
+		for _, x := range u {
+			nrm += x * x
+		}
+		nrm = 1 / math.Sqrt(nrm)
+		for j := range u {
+			u[j] *= nrm
+		}
+		basis[b] = u
+	}
+	v := basis[0]
+	a := math.Sqrt(1 - rho*rho)
+	w := make([]float64, r)
+	gen := func(rows int) *dense.Matrix {
+		m := dense.New(rows, d)
+		for i := 0; i < rows; i++ {
+			c := a
+			if rng.Intn(2) == 1 {
+				c = -a
+			}
+			var nw float64
+			for l := range w {
+				w[l] = rng.NormFloat64()
+				nw += w[l] * w[l]
+			}
+			nw = 1 / math.Sqrt(nw)
+			row := m.Row(i)
+			for j := range row {
+				row[j] = c * v[j]
+				for l, u := range basis[1:] {
+					row[j] += rho * w[l] * nw * u[j]
+				}
+			}
+		}
+		return m
+	}
+	return gen(nt), gen(ns)
+}
+
+// TestANNSkewBalancedPoolAndRecall is the align-level skew property,
+// swept across sizes and seeds: on collapse-skewed embeddings the
+// balanced index gathers ≥ 5× fewer pool rows per query than the
+// unbalanced index at equal bits/probes, while CandidateRecall against
+// the exact top-k stays ≥ 0.95.
+func TestANNSkewBalancedPoolAndRecall(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		seed int64
+	}{
+		{5000, 63}, {6000, 64},
+	} {
+		hs, ht := skewEmbeddings(tc.n, tc.n, 16, 4, 0.2, tc.seed)
+		k := 16
+		p := ann.Params{Bits: 11, Probes: 48, Seed: 23}
+		exact := TopKCandidates(hs, ht, k)
+		approx, stBal := ANNCandidatesStats(hs, ht, k, p, 0)
+		pu := p
+		pu.Unbalanced = true
+		_, stUnb := ANNCandidatesStats(hs, ht, k, pu, 0)
+		mb, mu := stBal.PoolRowsMean(), stUnb.PoolRowsMean()
+		if mb <= 0 || mu <= 0 {
+			t.Fatalf("n=%d: pool stats missing (balanced %.1f, unbalanced %.1f)", tc.n, mb, mu)
+		}
+		if mu < 5*mb {
+			t.Errorf("n=%d seed=%d: unbalanced mean pool %.1f not >= 5x balanced %.1f",
+				tc.n, tc.seed, mu, mb)
+		}
+		if rec := CandidateRecall(approx, exact); rec < 0.95 {
+			t.Errorf("n=%d seed=%d: balanced recall on skewed embeddings %.4f < 0.95",
+				tc.n, tc.seed, rec)
+		}
 	}
 }
 

@@ -93,6 +93,10 @@ type FineTuneResult struct {
 	// used by downstream analyses (the paper's Fig. 11 visualisation).
 	// They are populated only when FineTuneConfig.KeepEmbeddings is set.
 	Hs, Ht *dense.Matrix
+	// AnnStats is the merged skew-observability block of the two LSH
+	// indices (forward and backward direction) accumulated over every
+	// iteration of the loop. Nil unless the ANN backend ran.
+	AnnStats *ann.Stats
 }
 
 // FineTune runs Algorithm 2 for a single orbit: compute the similarity
@@ -160,6 +164,11 @@ func FineTune(enc *nn.Encoder, lapS, lapT *sparse.CSR, xs, xt *dense.Matrix, cfg
 			ba := &annScratch{p: cfg.Ann}
 			fwdGen = func(a, b *dense.Matrix) *Candidates { return fa.topK(a, b, cfg.TopK, w) }
 			bwdGen = func(a, b *dense.Matrix) *Candidates { return ba.topK(a, b, cfg.TopK, w) }
+			defer func() {
+				st := fa.stats()
+				st.Merge(ba.stats())
+				res.AnnStats = &st
+			}()
 		} else {
 			var fs, bs topkScratch
 			fwdGen = func(a, b *dense.Matrix) *Candidates { return fs.topK(a, b, cfg.TopK, w) }

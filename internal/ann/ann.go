@@ -8,6 +8,22 @@
 // exactness escape hatch: a full-probe index reproduces the blocked
 // exact top-k scan bit for bit.
 //
+// The hash is data-aware: the index centers the fitted rows and draws
+// its hyperplanes through a sampled-covariance whitening rotation, so
+// every bit splits the data roughly in half even when the rows collapse
+// toward a dominant direction (the GCN failure mode on low-signal
+// graphs). Buckets that still come out oversized are re-hashed one level
+// deeper with a fresh locally-centered plane set (see balance.go), and a
+// per-query pool cap can bound the gathered candidate pool in
+// margin-probe order. Params.Unbalanced restores the raw SRP index for
+// A/B comparison.
+//
+// Refitting the same-shaped matrix into an index (the fine-tuning loop)
+// is incremental: the planes and whitening are frozen at the first Fit,
+// and only rows that moved beyond Params.RefitEps since their last
+// recode are re-projected — unmoved rows keep their codes, and the
+// bucket arrays are rebuilt in place.
+//
 // The package is metric-agnostic — it ranks by plain inner product — so
 // the caller owns the metric: the align layer centers and row-normalises
 // embeddings first, turning inner products into Pearson correlations.
@@ -22,7 +38,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"math/rand"
+	"sync/atomic"
 
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/par"
@@ -32,6 +48,14 @@ import (
 // so 20 bits (1M buckets, 4 MB of offsets) is the widest code worth
 // paying for before the table dominates the candidate structures.
 const MaxBits = 20
+
+// defaultRefitEps is the relative row movement below which a refit keeps
+// a row's code instead of re-projecting it. A unit-norm row moving 2% in
+// L2 tilts by about a degree — only bits whose margin is within that
+// sliver can go stale, and those are exactly the buckets the multi-probe
+// sequence visits first anyway, so candidate recall is unaffected (see
+// TestRefitDriftKeepsRecall).
+const defaultRefitEps = 0.02
 
 // Params fix an index's geometry. The align/core layers resolve zero
 // values to AutoBits/AutoProbes before building an index.
@@ -45,6 +69,22 @@ type Params struct {
 	// gathered at least k candidates, so result rows are always full.
 	// Probes ≥ 2^Bits selects the brute-force exact path.
 	Probes int
+	// PoolCap, when positive, bounds the candidate pool gathered per
+	// query to max(k, PoolCap) rows: buckets arrive in margin order
+	// (cheapest perturbations first), so the cap truncates the
+	// costliest, least promising buckets. 0 leaves the pool unbounded.
+	PoolCap int
+	// RefitEps tunes the incremental refit: re-fitting a same-shaped
+	// matrix re-projects only the rows whose relative L2 movement since
+	// their last recode exceeds the epsilon. 0 selects defaultRefitEps;
+	// a negative value disables reuse entirely (every Fit recodes every
+	// row — the reference the refit tests compare against).
+	RefitEps float64
+	// Unbalanced disables the data-aware balancing — centering, the
+	// whitening rotation and the hierarchical re-hash of oversized
+	// buckets — restoring the raw SRP index. Kept as the A/B baseline
+	// for the skew benchmarks; leave it false in production.
+	Unbalanced bool
 	// Seed drives the hyperplane draw; equal seeds give identical
 	// indexes.
 	Seed int64
@@ -91,19 +131,33 @@ type Result struct {
 // Index is a signed-random-projection LSH index over the rows of one
 // matrix. Fit hashes the rows; TopK answers batched queries. An Index is
 // reusable across Fit calls (a fine-tuning loop re-fits each iteration's
-// embeddings into the same scratch) but not concurrently usable.
+// embeddings into the same scratch, incrementally) but not concurrently
+// usable.
 type Index struct {
 	p    Params
 	data *dense.Matrix // fitted rows (borrowed, not copied)
 	n    int
 
-	planes  *dense.Matrix // Bits×d hyperplanes, drawn once per dimension
-	proj    *dense.Matrix // n×Bits row projections (scratch)
-	codes   []uint32      // per-row bucket code
-	start   []int32       // CSR bucket offsets, len 2^Bits+1
-	order   []int32       // row ids grouped by bucket, stable in row order
-	cursor  []int32       // counting-sort scratch
-	workers []searcher    // per-worker query scratch
+	planes *dense.Matrix // Bits×d effective hyperplanes: G·T, whitened unless Unbalanced
+	bias   []float64     // per-bit centering offsets μ·w̃ (zero when Unbalanced)
+	xform  *dense.Matrix // d×d whitening transform T (nil when Unbalanced)
+	snap   *dense.Matrix // row values as of each row's last recode
+	proj   *dense.Matrix // n×Bits row projections (scratch)
+	codes  []uint32      // per-row bucket code
+	start  []int32       // CSR bucket offsets, len 2^Bits+1
+	order  []int32       // row ids grouped by bucket, stable in row order
+	cursor []int32       // counting-sort scratch
+
+	subs      []subTable // second-level tables of re-hashed oversized buckets
+	subOf     []int32    // per bucket: index into subs, or -1
+	subBudget int        // max rows a probed re-hashed bucket contributes
+	subCode   []uint32   // sub-rehash scratch
+	subTmp    []int32
+	subCursor []int32
+	subMean   []float64
+
+	workers []searcher // per-worker query scratch
+	stats   Stats
 }
 
 // New validates the parameters and returns an empty index; Fit must run
@@ -121,48 +175,119 @@ func New(p Params) *Index {
 // Params returns the index geometry.
 func (ix *Index) Params() Params { return ix.p }
 
+// Stats returns a copy of the index's cumulative skew-observability
+// counters (see Stats).
+func (ix *Index) Stats() Stats {
+	st := ix.stats
+	st.Occupancy = append([]int64(nil), ix.stats.Occupancy...)
+	return st
+}
+
 // Fit (re)hashes the rows of data into the index. The matrix is
 // borrowed: it must stay unmodified until the next Fit. On the exact
 // path hashing is skipped entirely — a full-probe query scans every row
 // anyway.
+//
+// The first Fit freezes the hash geometry: hyperplanes are drawn from
+// the seed and rotated/centered against the fitted data (see
+// buildTransform). A later Fit of a same-shaped matrix is incremental —
+// it re-projects only the rows that moved beyond RefitEps since their
+// last recode, reuses every other code, and rebuilds the bucket arrays
+// in place. A shape change rebuilds the index from scratch.
 func (ix *Index) Fit(data *dense.Matrix, workers int) {
 	ix.data = data
 	ix.n = data.Rows
+	ix.stats.Fits++
 	if ix.p.Exact() || ix.n == 0 {
 		return
 	}
-	if ix.planes == nil || ix.planes.Cols != data.Cols {
-		ix.planes = dense.New(ix.p.Bits, data.Cols)
-		rng := rand.New(rand.NewSource(ix.p.Seed))
-		for i := range ix.planes.Data {
-			ix.planes.Data[i] = rng.NormFloat64()
-		}
+	ix.stats.Rows += int64(ix.n)
+	fresh := ix.planes == nil || ix.planes.Cols != data.Cols ||
+		ix.snap == nil || ix.snap.Rows != ix.n
+	if fresh {
+		ix.buildTransform(data)
 	}
-	// Project all rows at once — the kernel is deterministic for every
-	// worker count, so the codes are too.
-	ix.proj = dense.Ensure(ix.proj, ix.n, ix.p.Bits)
-	dense.MulBTInto(ix.proj, data, ix.planes, workers)
 	ix.codes = growInt32sAsU32(ix.codes, ix.n)
-	par.For(workers, ix.n, ix.p.Bits, func(lo, hi int) {
+	if fresh || ix.p.RefitEps < 0 {
+		// Full (re)projection — the kernel is deterministic for every
+		// worker count, so the codes are too.
+		ix.proj = dense.Ensure(ix.proj, ix.n, ix.p.Bits)
+		dense.MulBTInto(ix.proj, data, ix.planes, workers)
+		par.For(workers, ix.n, ix.p.Bits, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var c uint32
+				for j, v := range ix.proj.Row(i) {
+					if v-ix.bias[j] >= 0 {
+						c |= 1 << uint(j)
+					}
+				}
+				ix.codes[i] = c
+			}
+		})
+		ix.snap = dense.Ensure(ix.snap, ix.n, data.Cols)
+		ix.snap.CopyFrom(data)
+		ix.stats.Recoded += int64(ix.n)
+	} else {
+		ix.refit(data, workers)
+	}
+	ix.buildBuckets()
+	ix.buildSubs()
+}
+
+// refit is the incremental path of Fit: rows whose relative movement
+// since their last recode stays within the epsilon keep their codes;
+// the rest are re-projected one by one with the same sequential dot
+// product as the batch kernel, so a partial recode is bit-identical to
+// a full one.
+func (ix *Index) refit(data *dense.Matrix, workers int) {
+	eps := ix.p.RefitEps
+	if eps == 0 {
+		eps = defaultRefitEps
+	}
+	eps2 := eps * eps
+	nbits := ix.p.Bits
+	var recoded atomic.Int64
+	par.For(workers, ix.n, 2*data.Cols*(nbits+1), func(lo, hi int) {
+		var rc int64
 		for i := lo; i < hi; i++ {
+			row, old := data.Row(i), ix.snap.Row(i)
+			var d2, n2 float64
+			for l, v := range row {
+				dl := v - old[l]
+				d2 += dl * dl
+				n2 += v * v
+			}
+			if d2 <= eps2*n2 {
+				continue
+			}
 			var c uint32
-			for j, v := range ix.proj.Row(i) {
-				if v >= 0 {
+			for j := 0; j < nbits; j++ {
+				if dot(row, ix.planes.Row(j))-ix.bias[j] >= 0 {
 					c |= 1 << uint(j)
 				}
 			}
 			ix.codes[i] = c
+			copy(old, row)
+			rc++
 		}
+		recoded.Add(rc)
 	})
-	// Stable counting sort into CSR buckets: offsets, then rows in
-	// ascending id order within each bucket.
+	rc := recoded.Load()
+	ix.stats.Recoded += rc
+	ix.stats.Reused += int64(ix.n) - rc
+}
+
+// buildBuckets (re)assembles the CSR buckets from the codes — a stable
+// counting sort: offsets, then rows in ascending id order within each
+// bucket — and refreshes the last-fit occupancy statistics.
+func (ix *Index) buildBuckets() {
 	nb := 1 << ix.p.Bits
 	ix.start = growInt32s(ix.start, nb+1)
 	ix.cursor = growInt32s(ix.cursor, nb)
 	for i := range ix.start[:nb+1] {
 		ix.start[i] = 0
 	}
-	for _, c := range ix.codes {
+	for _, c := range ix.codes[:ix.n] {
 		ix.start[c+1]++
 	}
 	for b := 0; b < nb; b++ {
@@ -170,9 +295,26 @@ func (ix *Index) Fit(data *dense.Matrix, workers int) {
 	}
 	copy(ix.cursor, ix.start[:nb])
 	ix.order = growInt32s(ix.order, ix.n)
-	for i, c := range ix.codes {
+	for i, c := range ix.codes[:ix.n] {
 		ix.order[ix.cursor[c]] = int32(i)
 		ix.cursor[c]++
+	}
+	ix.stats.Buckets = nb
+	ix.stats.MaxBucket = 0
+	if ix.stats.Occupancy == nil {
+		ix.stats.Occupancy = make([]int64, 33)
+	}
+	for i := range ix.stats.Occupancy {
+		ix.stats.Occupancy[i] = 0
+	}
+	for b := 0; b < nb; b++ {
+		size := int(ix.start[b+1] - ix.start[b])
+		if size > ix.stats.MaxBucket {
+			ix.stats.MaxBucket = size
+		}
+		if size > 0 {
+			ix.stats.Occupancy[bits.Len32(uint32(size))]++
+		}
 	}
 }
 
@@ -207,6 +349,13 @@ func (ix *Index) TopK(queries *dense.Matrix, k, workers int) *Result {
 	if nq == 0 || k == 0 {
 		return out
 	}
+	pcap := 0
+	if ix.p.PoolCap > 0 {
+		pcap = ix.p.PoolCap
+		if pcap < k {
+			pcap = k
+		}
+	}
 	nBlocks := (nq + annBlockRows - 1) / annBlockRows
 	w := par.Resolve(workers)
 	if w > nBlocks {
@@ -214,6 +363,11 @@ func (ix *Index) TopK(queries *dense.Matrix, k, workers int) *Result {
 	}
 	if len(ix.workers) < w {
 		ix.workers = append(ix.workers, make([]searcher, w-len(ix.workers))...)
+	}
+	for i := 0; i < w; i++ {
+		s := &ix.workers[i]
+		s.cap = pcap
+		s.queries, s.poolRows, s.maxPool = 0, 0, 0
 	}
 	par.Sharded(w, nBlocks, func(worker, blk int) {
 		s := &ix.workers[worker]
@@ -226,22 +380,69 @@ func (ix *Index) TopK(queries *dense.Matrix, k, workers int) *Result {
 			ix.search(s, queries.Row(r), k, out.Idx[r], out.Score[r])
 		}
 	})
+	// Fold the per-worker counters into the index stats. Integer sums
+	// are order-independent, so the totals are deterministic for every
+	// worker count.
+	for i := 0; i < w; i++ {
+		s := &ix.workers[i]
+		ix.stats.Queries += s.queries
+		ix.stats.PoolRows += s.poolRows
+		if s.maxPool > ix.stats.PoolRowsMax {
+			ix.stats.PoolRowsMax = s.maxPool
+		}
+	}
 	return out
 }
 
 // searcher is one worker's private query scratch.
 type searcher struct {
-	z    []float64 // query projections
+	z    []float64 // query projections (bias-adjusted)
 	abs  []float64 // projection margins |z|
 	perm []int     // bit positions sorted by ascending margin
-	// Pending perturbation sets, a binary min-heap ordered by (cost,
-	// mask): cost is the summed margin of the flipped bits, the mask
-	// identifies the set over sorted positions and breaks cost ties
-	// deterministically.
-	heapC []float64
-	heapM []uint32
-	pool  []int32
-	sel   selHeap
+	heap probeHeap // pending perturbation sets of the main probe loop
+	pool []int32
+	// deferred holds (lo, hi) pairs of order-array segments set aside by
+	// sub-bucketed gathers: the parent-bucket rows beyond the sub-probe
+	// budget, drained in probe order only if the pool falls short of k.
+	deferred []int32
+	// Sub-probe scratch: the same margin/heap machinery one level down,
+	// over a re-hashed bucket's second-level table.
+	subZ    []float64
+	subAbs  []float64
+	subPerm []int
+	subHeap probeHeap
+	visited []int32 // (lo, hi) sub-bucket spans taken from the current bucket
+
+	q   []float64 // current query row (borrowed during one search)
+	cap int       // effective pool cap for this TopK call (0 = none)
+	sel selHeap
+
+	queries  int64 // per-TopK stat accumulators
+	poolRows int64
+	maxPool  int
+}
+
+// take appends candidate rows to the pool, honouring the pool cap.
+func (s *searcher) take(rows []int32) {
+	if s.cap > 0 {
+		if room := s.cap - len(s.pool); room < len(rows) {
+			if room <= 0 {
+				return
+			}
+			rows = rows[:room]
+		}
+	}
+	s.pool = append(s.pool, rows...)
+}
+
+// wantMore reports whether the probe loop should keep visiting buckets:
+// past the configured floor only while the pool is short of k, and never
+// once the pool cap is reached.
+func (s *searcher) wantMore(k, probed, floor int) bool {
+	if s.cap > 0 && len(s.pool) >= s.cap {
+		return false
+	}
+	return probed < floor || len(s.pool) < k
 }
 
 // search fills one query's k best rows. The approximate path hashes the
@@ -249,15 +450,21 @@ type searcher struct {
 // configured count and gathered ≥ k candidates, and exactly re-ranks the
 // pool; the exact path scans every row.
 func (ix *Index) search(s *searcher, q []float64, k int, outIdx []int32, outScore []float64) {
+	s.queries++
 	if ix.p.Exact() {
+		s.poolRows += int64(ix.n)
+		if ix.n > s.maxPool {
+			s.maxPool = ix.n
+		}
 		s.sel.selectRows(outIdx, outScore, q, ix.data, nil, ix.n)
 		return
 	}
+	s.q = q
 	nbits := ix.p.Bits
 	s.z = resize(s.z, nbits)
 	s.abs = resize(s.abs, nbits)
 	for j := 0; j < nbits; j++ {
-		s.z[j] = dot(q, ix.planes.Row(j))
+		s.z[j] = dot(q, ix.planes.Row(j)) - ix.bias[j]
 		s.abs[j] = math.Abs(s.z[j])
 	}
 	var code uint32
@@ -290,16 +497,17 @@ func (ix *Index) search(s *searcher, q []float64, k int, outIdx []int32, outScor
 	// perturbation sets popped cheapest-first, each pop seeding its
 	// shift and expand successors (every non-empty set is generated
 	// exactly once). Keep probing past the floor until the pool covers
-	// k — the full enumeration reaches every bucket, so pool ≥ k always
-	// terminates.
-	s.heapC = s.heapC[:0]
-	s.heapM = s.heapM[:0]
+	// k — the full enumeration reaches every bucket, and any rows a
+	// sub-bucketed gather deferred are drained afterwards, so pool ≥ k
+	// always terminates.
+	s.heap.reset()
 	s.pool = s.pool[:0]
+	s.deferred = s.deferred[:0]
 	ix.gather(s, code)
-	s.pushProbe(s.abs[s.perm[0]], 1)
+	s.heap.push(s.abs[s.perm[0]], 1)
 	total := 1 << nbits
-	for probed := 1; (probed < ix.p.Probes || len(s.pool) < k) && probed < total && len(s.heapC) > 0; probed++ {
-		cost, mask := s.popProbe()
+	for probed := 1; s.wantMore(k, probed, ix.p.Probes) && probed < total && s.heap.len() > 0; probed++ {
+		cost, mask := s.heap.pop()
 		var flip uint32
 		for m := mask; m != 0; m &= m - 1 {
 			flip |= 1 << uint(s.perm[bits.TrailingZeros32(m)])
@@ -308,43 +516,160 @@ func (ix *Index) search(s *searcher, q []float64, k int, outIdx []int32, outScor
 		if top := bits.Len32(mask) - 1; top+1 < nbits {
 			mTop := s.abs[s.perm[top]]
 			mNext := s.abs[s.perm[top+1]]
-			s.pushProbe(cost-mTop+mNext, mask&^(1<<uint(top))|1<<uint(top+1)) // shift
-			s.pushProbe(cost+mNext, mask|1<<uint(top+1))                      // expand
+			s.heap.push(cost-mTop+mNext, mask&^(1<<uint(top))|1<<uint(top+1)) // shift
+			s.heap.push(cost+mNext, mask|1<<uint(top+1))                      // expand
 		}
+	}
+	for di := 0; di+1 < len(s.deferred) && len(s.pool) < k; di += 2 {
+		s.take(ix.order[s.deferred[di]:s.deferred[di+1]])
+	}
+	s.poolRows += int64(len(s.pool))
+	if len(s.pool) > s.maxPool {
+		s.maxPool = len(s.pool)
 	}
 	s.sel.selectRows(outIdx, outScore, q, ix.data, s.pool, 0)
 }
 
 // gather appends one bucket's rows to the candidate pool. Buckets
-// partition the rows, so the pool never holds duplicates.
+// partition the rows, so the pool never holds duplicates. A bucket that
+// was re-hashed one level deeper (see buildSubs) is walked through the
+// same margin-ordered multi-probe one level down, and contributes at
+// most subBudget rows — the size of the largest allowed ordinary bucket
+// — so a hot bucket can't flood the pool; the unvisited remainder is
+// deferred, to be drained after the probe loop only if the pool falls
+// short of k.
 func (ix *Index) gather(s *searcher, bucket uint32) {
 	lo, hi := ix.start[bucket], ix.start[bucket+1]
-	s.pool = append(s.pool, ix.order[lo:hi]...)
-}
-
-// pushProbe adds a pending perturbation set to the min-heap.
-func (s *searcher) pushProbe(cost float64, mask uint32) {
-	s.heapC = append(s.heapC, cost)
-	s.heapM = append(s.heapM, mask)
-	i := len(s.heapC) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !probeLess(s.heapC[i], s.heapM[i], s.heapC[p], s.heapM[p]) {
+	if lo == hi {
+		return
+	}
+	si := int32(-1)
+	if len(ix.subs) > 0 {
+		si = ix.subOf[bucket]
+	}
+	if si < 0 {
+		s.take(ix.order[lo:hi])
+		return
+	}
+	st := &ix.subs[si]
+	sb := st.bits
+	s.subZ = resize(s.subZ, sb)
+	s.subAbs = resize(s.subAbs, sb)
+	var code uint32
+	for j := 0; j < sb; j++ {
+		z := dot(s.q, st.planes.Row(j)) - st.bias[j]
+		s.subZ[j] = z
+		s.subAbs[j] = math.Abs(z)
+		if z >= 0 {
+			code |= 1 << uint(j)
+		}
+	}
+	if cap(s.subPerm) < sb {
+		s.subPerm = make([]int, sb)
+	}
+	s.subPerm = s.subPerm[:sb]
+	for j := range s.subPerm {
+		s.subPerm[j] = j
+	}
+	for i := 1; i < sb; i++ {
+		p := s.subPerm[i]
+		j := i
+		for j > 0 && s.subAbs[p] < s.subAbs[s.subPerm[j-1]] {
+			s.subPerm[j] = s.subPerm[j-1]
+			j--
+		}
+		s.subPerm[j] = p
+	}
+	taken := 0
+	s.visited = s.visited[:0]
+	probe := func(c uint32) {
+		slo, shi := lo+st.start[c], lo+st.start[c+1]
+		if slo == shi {
 			return
 		}
-		s.heapC[i], s.heapC[p] = s.heapC[p], s.heapC[i]
-		s.heapM[i], s.heapM[p] = s.heapM[p], s.heapM[i]
+		s.take(ix.order[slo:shi])
+		taken += int(shi - slo)
+		s.visited = append(s.visited, slo, shi)
+	}
+	s.subHeap.reset()
+	probe(code)
+	s.subHeap.push(s.subAbs[s.subPerm[0]], 1)
+	total := 1 << uint(sb)
+	for probed := 1; taken < ix.subBudget && probed < total && s.subHeap.len() > 0; probed++ {
+		cost, mask := s.subHeap.pop()
+		var flip uint32
+		for m := mask; m != 0; m &= m - 1 {
+			flip |= 1 << uint(s.subPerm[bits.TrailingZeros32(m)])
+		}
+		probe(code ^ flip)
+		if top := bits.Len32(mask) - 1; top+1 < sb {
+			mTop := s.subAbs[s.subPerm[top]]
+			mNext := s.subAbs[s.subPerm[top+1]]
+			s.subHeap.push(cost-mTop+mNext, mask&^(1<<uint(top))|1<<uint(top+1))
+			s.subHeap.push(cost+mNext, mask|1<<uint(top+1))
+		}
+	}
+	// Defer the unvisited remainder. Sub-buckets are contiguous spans of
+	// the parent segment, so the complement of the visited spans is a
+	// handful of gaps: sort the visited spans positionally (they arrived
+	// in margin order) and emit what lies between them.
+	for i := 2; i < len(s.visited); i += 2 {
+		vlo, vhi := s.visited[i], s.visited[i+1]
+		j := i
+		for j > 0 && vlo < s.visited[j-2] {
+			s.visited[j], s.visited[j+1] = s.visited[j-2], s.visited[j-1]
+			j -= 2
+		}
+		s.visited[j], s.visited[j+1] = vlo, vhi
+	}
+	prev := lo
+	for i := 0; i < len(s.visited); i += 2 {
+		if s.visited[i] > prev {
+			s.deferred = append(s.deferred, prev, s.visited[i])
+		}
+		prev = s.visited[i+1]
+	}
+	if prev < hi {
+		s.deferred = append(s.deferred, prev, hi)
+	}
+}
+
+// probeHeap is a binary min-heap of pending perturbation sets, ordered
+// by (cost, mask): cost is the summed margin of the flipped bits, the
+// mask identifies the set over margin-sorted positions and breaks cost
+// ties deterministically. The main probe loop and the sub-probe of a
+// re-hashed bucket each run one.
+type probeHeap struct {
+	c []float64
+	m []uint32
+}
+
+func (h *probeHeap) reset()   { h.c, h.m = h.c[:0], h.m[:0] }
+func (h *probeHeap) len() int { return len(h.c) }
+
+// push adds a pending perturbation set.
+func (h *probeHeap) push(cost float64, mask uint32) {
+	h.c = append(h.c, cost)
+	h.m = append(h.m, mask)
+	i := len(h.c) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !probeLess(h.c[i], h.m[i], h.c[p], h.m[p]) {
+			return
+		}
+		h.c[i], h.c[p] = h.c[p], h.c[i]
+		h.m[i], h.m[p] = h.m[p], h.m[i]
 		i = p
 	}
 }
 
-// popProbe removes and returns the cheapest pending perturbation set.
-func (s *searcher) popProbe() (float64, uint32) {
-	cost, mask := s.heapC[0], s.heapM[0]
-	n := len(s.heapC) - 1
-	s.heapC[0], s.heapM[0] = s.heapC[n], s.heapM[n]
-	s.heapC = s.heapC[:n]
-	s.heapM = s.heapM[:n]
+// pop removes and returns the cheapest pending perturbation set.
+func (h *probeHeap) pop() (float64, uint32) {
+	cost, mask := h.c[0], h.m[0]
+	n := len(h.c) - 1
+	h.c[0], h.m[0] = h.c[n], h.m[n]
+	h.c = h.c[:n]
+	h.m = h.m[:n]
 	i := 0
 	for {
 		l := 2*i + 1
@@ -352,14 +677,14 @@ func (s *searcher) popProbe() (float64, uint32) {
 			break
 		}
 		m := l
-		if r := l + 1; r < n && probeLess(s.heapC[r], s.heapM[r], s.heapC[l], s.heapM[l]) {
+		if r := l + 1; r < n && probeLess(h.c[r], h.m[r], h.c[l], h.m[l]) {
 			m = r
 		}
-		if !probeLess(s.heapC[m], s.heapM[m], s.heapC[i], s.heapM[i]) {
+		if !probeLess(h.c[m], h.m[m], h.c[i], h.m[i]) {
 			break
 		}
-		s.heapC[i], s.heapC[m] = s.heapC[m], s.heapC[i]
-		s.heapM[i], s.heapM[m] = s.heapM[m], s.heapM[i]
+		h.c[i], h.c[m] = h.c[m], h.c[i]
+		h.m[i], h.m[m] = h.m[m], h.m[i]
 		i = m
 	}
 	return cost, mask
@@ -469,7 +794,8 @@ func (h *selHeap) selectRows(outIdx []int32, outScore []float64, q []float64, da
 
 // dot is the sequential inner product — the exact association the dense
 // kernel uses per cell, which is what makes full-probe results
-// bit-identical to the blocked scan.
+// bit-identical to the blocked scan, and a per-row incremental recode
+// bit-identical to the batch projection.
 func dot(a, b []float64) float64 {
 	var s float64
 	for i, v := range a {

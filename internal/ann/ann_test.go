@@ -1,6 +1,7 @@
 package ann
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -112,19 +113,22 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 }
 
 // TestRefitReusesIndex: a loop re-fitting new data into one index (the
-// fine-tuning pattern) must behave like a fresh index each time.
+// fine-tuning pattern) must behave exactly like an index that replays
+// the same fit sequence with reuse disabled (RefitEps < 0 recodes every
+// row on every Fit). The hash geometry is frozen at the first Fit either
+// way, so any deviation isolates the incremental-recode machinery.
 func TestRefitReusesIndex(t *testing.T) {
 	ix := New(Params{Bits: 5, Probes: 8, Seed: 13})
+	full := New(Params{Bits: 5, Probes: 8, Seed: 13, RefitEps: -1})
 	for round := int64(0); round < 3; round++ {
 		data := randRows(150, 7, 20+round)
 		queries := randRows(60, 7, 30+round)
 		ix.Fit(data, 2)
+		full.Fit(data, 1)
 		got := ix.TopK(queries, 6, 2)
-		fresh := New(Params{Bits: 5, Probes: 8, Seed: 13})
-		fresh.Fit(data, 1)
-		want := fresh.TopK(queries, 6, 1)
+		want := full.TopK(queries, 6, 1)
 		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("round %d: reused index deviates from a fresh one", round)
+			t.Fatalf("round %d: reused index deviates from a full-recode replay", round)
 		}
 	}
 }
@@ -176,5 +180,302 @@ func TestAutoParams(t *testing.T) {
 	}
 	if !(Params{Bits: 4, Probes: AutoProbes(4)}).Exact() {
 		t.Error("auto probes at 4 bits should reach every bucket (exact)")
+	}
+}
+
+// recallOf measures candidate recall: the fraction of the reference
+// top-k ids the approximate result recovered, pooled over all queries.
+func recallOf(got, want *Result) float64 {
+	var hit, total int
+	for i := range want.Idx {
+		w := make(map[int32]bool, len(want.Idx[i]))
+		for _, j := range want.Idx[i] {
+			w[j] = true
+		}
+		for _, j := range got.Idx[i] {
+			if w[j] {
+				hit++
+			}
+		}
+		total += len(want.Idx[i])
+	}
+	return float64(hit) / float64(total)
+}
+
+// normalizeRow scales one row to unit L2 norm in place.
+func normalizeRow(row []float64) {
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for j := range row {
+		row[j] *= inv
+	}
+}
+
+// TestRefitBitStableWhenUnmoved: re-fitting the identical matrix must
+// reuse every row's code and leave results bit-identical — the zero-rows
+// -moved end of the incremental refit.
+func TestRefitBitStableWhenUnmoved(t *testing.T) {
+	data := randRows(500, 8, 17)
+	queries := randRows(120, 8, 18)
+	ix := New(Params{Bits: 6, Probes: 12, Seed: 5})
+	ix.Fit(data, 2)
+	want := ix.TopK(queries, 8, 2)
+	ix.Fit(data, 2)
+	got := ix.TopK(queries, 8, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("re-fitting unchanged data changed the results")
+	}
+	st := ix.Stats()
+	if st.Reused != 500 {
+		t.Fatalf("second fit of unchanged data reused %d of 500 rows", st.Reused)
+	}
+	if st.Recoded != 500 {
+		t.Fatalf("recoded %d rows, want 500 (the first fit only)", st.Recoded)
+	}
+	if st.Fits != 2 || st.Rows != 1000 {
+		t.Fatalf("stats miscounted fits/rows: %+v", st)
+	}
+}
+
+// TestRefitPartialRecodeMatchesFullRecode is the refit property test:
+// after some rows move far past the epsilon and the rest stay
+// bit-identical, the partially recoded index must match a full-recode
+// replay of the same fit sequence exactly, and the reuse counters must
+// account for precisely the unmoved rows.
+func TestRefitPartialRecodeMatchesFullRecode(t *testing.T) {
+	for _, tc := range []struct {
+		n, d int
+		seed int64
+	}{
+		{300, 8, 21}, {1200, 12, 22}, {700, 5, 23},
+	} {
+		a := randRows(tc.n, tc.d, tc.seed)
+		b := a.Clone()
+		rng := rand.New(rand.NewSource(tc.seed + 100))
+		moved := 0
+		for i := 0; i < tc.n; i++ {
+			if rng.Float64() < 0.3 {
+				row := b.Row(i)
+				for j := range row {
+					row[j] += 0.5 * rng.NormFloat64()
+				}
+				normalizeRow(row)
+				moved++
+			}
+		}
+		queries := randRows(150, tc.d, tc.seed+200)
+		inc := New(Params{Bits: 6, Probes: 10, Seed: 29})
+		ref := New(Params{Bits: 6, Probes: 10, Seed: 29, RefitEps: -1})
+		inc.Fit(a, 2)
+		ref.Fit(a, 1)
+		inc.Fit(b, 2)
+		ref.Fit(b, 1)
+		got := inc.TopK(queries, 9, 2)
+		want := ref.TopK(queries, 9, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d seed=%d: partial recode deviates from full-recode replay", tc.n, tc.seed)
+		}
+		st := inc.Stats()
+		if st.Reused != int64(tc.n-moved) || st.Recoded != int64(tc.n+moved) {
+			t.Fatalf("n=%d: reused %d recoded %d, want %d / %d",
+				tc.n, st.Reused, st.Recoded, tc.n-moved, tc.n+moved)
+		}
+		if ratio := st.ReuseRatio(); ratio <= 0 {
+			t.Fatalf("reuse ratio = %v, want > 0", ratio)
+		}
+	}
+}
+
+// TestRefitDriftKeepsRecall: the default epsilon lets sub-epsilon drift
+// accumulate stale marginal bits; multi-probe must absorb them. All rows
+// drift slightly, a quarter move hard, and candidate recall against the
+// exact ranking of the *new* data must hold.
+func TestRefitDriftKeepsRecall(t *testing.T) {
+	const n, d, k = 2000, 10, 16
+	a := randRows(n, d, 31)
+	b := a.Clone()
+	rng := rand.New(rand.NewSource(131))
+	for i := 0; i < n; i++ {
+		row := b.Row(i)
+		scale := 0.003
+		if rng.Float64() < 0.25 {
+			scale = 0.5
+		}
+		for j := range row {
+			row[j] += scale * rng.NormFloat64()
+		}
+		normalizeRow(row)
+	}
+	queries := randRows(300, d, 32)
+	ix := New(Params{Bits: 8, Probes: 128, Seed: 3})
+	ix.Fit(a, 2)
+	ix.Fit(b, 2)
+	st := ix.Stats()
+	if st.Reused == 0 {
+		t.Fatal("sub-epsilon drift should have reused some codes")
+	}
+	if st.Recoded <= n {
+		t.Fatal("hard-moved rows should have been recoded")
+	}
+	got := ix.TopK(queries, k, 2)
+	want := bruteTopK(queries, b, k)
+	if r := recallOf(got, want); r < 0.95 {
+		t.Fatalf("recall after drift = %.3f, want >= 0.95", r)
+	}
+}
+
+// TestPoolCapBoundsPool: a pool cap bounds every query's gathered pool
+// at max(k, PoolCap) rows, result rows stay full and duplicate-free, and
+// the margin-ordered truncation keeps recall high — the capped pool
+// drops the most expensive buckets, not the nearest ones.
+func TestPoolCapBoundsPool(t *testing.T) {
+	const n, k, cap = 2000, 10, 600
+	data := randRows(n, 8, 41)
+	queries := randRows(250, 8, 42)
+	capped := New(Params{Bits: 8, Probes: 128, PoolCap: cap, Seed: 7})
+	capped.Fit(data, 2)
+	got := capped.TopK(queries, k, 2)
+	st := capped.Stats()
+	if st.PoolRowsMax > cap {
+		t.Fatalf("pool reached %d rows, cap is %d", st.PoolRowsMax, cap)
+	}
+	if st.PoolRowsMax == 0 || st.Queries != 250 {
+		t.Fatalf("pool stats not recorded: %+v", st)
+	}
+	for i, row := range got.Idx {
+		if len(row) != k {
+			t.Fatalf("query %d returned %d of %d rows", i, len(row), k)
+		}
+		seen := map[int32]bool{}
+		for _, j := range row {
+			if seen[j] {
+				t.Fatalf("query %d: duplicate candidate %d", i, j)
+			}
+			seen[j] = true
+		}
+	}
+	if r := recallOf(got, bruteTopK(queries, data, k)); r < 0.95 {
+		t.Fatalf("recall under pool cap = %.3f, want >= 0.95", r)
+	}
+	// A cap below k is lifted to k: rows must still come back full.
+	tiny := New(Params{Bits: 6, Probes: 4, PoolCap: 1, Seed: 7})
+	tiny.Fit(data, 1)
+	res := tiny.TopK(queries, k, 1)
+	for i, row := range res.Idx {
+		if len(row) != k {
+			t.Fatalf("cap < k: query %d returned %d of %d rows", i, len(row), k)
+		}
+	}
+}
+
+// skewPair mirrors the GCN collapse the balancing exists for: every row
+// is ±√(1−ρ²)·v (one shared dominant direction) plus a ρ-scaled unit
+// residual drawn from a rank-r subspace orthogonal to v — collapsed
+// embeddings keep a dominant direction AND low effective rank. Raw SRP
+// bits all follow sign(±v·g), so the unbalanced index piles most rows
+// into a few hot buckets, while the ranking signal lives entirely in
+// the residuals. Data and queries share the same v and subspace, as two
+// fine-tune iterations of one embedding would.
+func skewPair(n, nq, d, r int, rho float64, seed int64) (data, queries *dense.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	// Orthonormal basis: v plus r residual directions, by Gram-Schmidt.
+	basis := make([][]float64, r+1)
+	for b := range basis {
+		u := make([]float64, d)
+		for j := range u {
+			u[j] = rng.NormFloat64()
+		}
+		for _, prev := range basis[:b] {
+			var p float64
+			for j := range u {
+				p += u[j] * prev[j]
+			}
+			for j := range u {
+				u[j] -= p * prev[j]
+			}
+		}
+		normalizeRow(u)
+		basis[b] = u
+	}
+	v := basis[0]
+	a := math.Sqrt(1 - rho*rho)
+	w := make([]float64, r)
+	gen := func(rows int) *dense.Matrix {
+		m := dense.New(rows, d)
+		for i := 0; i < rows; i++ {
+			c := a
+			if rng.Intn(2) == 1 {
+				c = -a
+			}
+			for l := range w {
+				w[l] = rng.NormFloat64()
+			}
+			normalizeRow(w)
+			row := m.Row(i)
+			for j := range row {
+				row[j] = c * v[j]
+				for l, u := range basis[1:] {
+					row[j] += rho * w[l] * u[j]
+				}
+			}
+		}
+		return m
+	}
+	return gen(n), gen(nq)
+}
+
+// TestSkewBalancedBeatsUnbalanced is the tentpole property, tested
+// across sizes and seeds: on collapse-skewed rows the balanced index
+// gathers ≥ 5× fewer pool rows per query than the unbalanced one at
+// equal bits/probes, while keeping candidate recall ≥ 0.95 against the
+// exact ranking.
+func TestSkewBalancedBeatsUnbalanced(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		seed int64
+	}{
+		{5000, 51}, {8000, 52},
+	} {
+		const d, k = 16, 16
+		data, queries := skewPair(tc.n, 400, d, 4, 0.2, tc.seed)
+		p := Params{Bits: 11, Probes: 48, Seed: 19}
+		balanced := New(p)
+		balanced.Fit(data, 2)
+		gotB := balanced.TopK(queries, k, 2)
+		pu := p
+		pu.Unbalanced = true
+		unbalanced := New(pu)
+		unbalanced.Fit(data, 2)
+		unbalanced.TopK(queries, k, 2)
+		mb := balanced.Stats().PoolRowsMean()
+		mu := unbalanced.Stats().PoolRowsMean()
+		if mb <= 0 || mu <= 0 {
+			t.Fatalf("n=%d: pool stats missing (balanced %.1f, unbalanced %.1f)", tc.n, mb, mu)
+		}
+		if mu < 5*mb {
+			t.Errorf("n=%d seed=%d: unbalanced mean pool %.1f not >= 5x balanced %.1f",
+				tc.n, tc.seed, mu, mb)
+		}
+		if r := recallOf(gotB, bruteTopK(queries, data, k)); r < 0.95 {
+			t.Errorf("n=%d seed=%d: balanced recall on skewed rows = %.3f, want >= 0.95",
+				tc.n, tc.seed, r)
+		}
+		st := balanced.Stats()
+		if st.Buckets != 1<<11 {
+			t.Fatalf("stats report %d buckets, want %d", st.Buckets, 1<<11)
+		}
+		var occupied int64
+		for _, c := range st.Occupancy {
+			occupied += c
+		}
+		if occupied == 0 || occupied > int64(st.Buckets) {
+			t.Fatalf("occupancy histogram inconsistent: %v", st.Occupancy)
+		}
 	}
 }

@@ -108,6 +108,60 @@ func TestAlignANNApproximate(t *testing.T) {
 	}
 }
 
+// TestAlignANNStats: an ann run reports its skew-observability block —
+// fits, hashed rows, query pool work — and echoes the configured pool
+// cap; other backends report neither.
+func TestAlignANNStats(t *testing.T) {
+	n := 60
+	gs, gt, _ := noisyPair(n, 0.05, 5)
+	cfg := quickConfig(Full)
+	cfg.Similarity = SimANN
+	cfg.CandidateK = 8
+	cfg.AnnBits = 5
+	cfg.AnnProbes = 12
+	cfg.AnnPoolCap = 40
+	res, err := Align(gs, gt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnnPoolCap != 40 {
+		t.Fatalf("AnnPoolCap = %d, want 40", res.AnnPoolCap)
+	}
+	st := res.Ann
+	if st == nil {
+		t.Fatal("ann run returned no stats block")
+	}
+	if st.Fits <= 0 || st.RowsHashed <= 0 {
+		t.Fatalf("no hashing recorded: fits=%d rows=%d", st.Fits, st.RowsHashed)
+	}
+	if st.Buckets != 1<<5 {
+		t.Fatalf("Buckets = %d, want %d", st.Buckets, 1<<5)
+	}
+	if st.Queries <= 0 || st.PoolRows <= 0 || st.PoolRowsMean <= 0 {
+		t.Fatalf("no query work recorded: %+v", st)
+	}
+	if st.PoolRowsMax > 40 && st.PoolRowsMax > cfg.CandidateK {
+		t.Fatalf("pool cap not honoured: max pool %d > cap 40", st.PoolRowsMax)
+	}
+	if st.RowsReused+st.RowsRecoded != st.RowsHashed {
+		t.Fatalf("reuse partition broken: reused %d + recoded %d != hashed %d",
+			st.RowsReused, st.RowsRecoded, st.RowsHashed)
+	}
+	if got := st.RefitReuseRatio; got < 0 || got > 1 {
+		t.Fatalf("refit reuse ratio %v out of [0,1]", got)
+	}
+
+	topkCfg := quickConfig(Full)
+	topkCfg.Similarity = SimTopK
+	topkRes, err := Align(gs, gt, topkCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topkRes.Ann != nil || topkRes.AnnPoolCap != 0 {
+		t.Fatalf("topk run reports ann stats: %+v cap=%d", topkRes.Ann, topkRes.AnnPoolCap)
+	}
+}
+
 // TestResolveAnn covers the parameter auto-sizing against the pair.
 func TestResolveAnn(t *testing.T) {
 	var cfg Config
@@ -141,10 +195,14 @@ func TestValidateSimilarity(t *testing.T) {
 		{"negative bits", Config{Similarity: SimANN, AnnBits: -2}, 100, 100, ErrBadAnnParam},
 		{"bits beyond max", Config{Similarity: SimANN, AnnBits: ann.MaxBits + 1}, 100, 100, ErrBadAnnParam},
 		{"negative probes", Config{Similarity: SimANN, AnnProbes: -1}, 100, 100, ErrBadAnnParam},
+		{"negative pool cap", Config{Similarity: SimANN, AnnPoolCap: -1}, 100, 100, ErrBadAnnParam},
+		{"ann with pool cap", Config{Similarity: SimANN, AnnPoolCap: 64}, 100, 100, nil},
 		{"k under forced dense", Config{Similarity: SimDense, CandidateK: 8}, 100, 100, ErrIgnoredSimKnob},
 		{"k under auto-resolved dense", Config{CandidateK: 8}, 100, 100, ErrIgnoredSimKnob},
 		{"ann knobs under forced topk", Config{Similarity: SimTopK, AnnBits: 6}, 100, 100, ErrIgnoredSimKnob},
 		{"ann probes under forced dense", Config{Similarity: SimDense, AnnProbes: 4}, 100, 100, ErrIgnoredSimKnob},
+		{"pool cap under forced topk", Config{Similarity: SimTopK, AnnPoolCap: 64}, 100, 100, ErrIgnoredSimKnob},
+		{"auto sizeless tolerates pool cap", Config{AnnPoolCap: 64}, 0, 0, nil},
 		{"auto sizeless tolerates k", Config{CandidateK: 8}, 0, 0, nil},
 		{"auto sizeless tolerates ann knobs", Config{AnnBits: 6}, 0, 0, nil},
 		{"forced dense sizeless still rejects k", Config{Similarity: SimDense, CandidateK: 8}, 0, 0, ErrIgnoredSimKnob},

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"github.com/htc-align/htc/internal/align"
+	"github.com/htc-align/htc/internal/ann"
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/graph"
 	"github.com/htc-align/htc/internal/ingest"
@@ -195,6 +198,99 @@ func BenchmarkAlignTopKLarge(b *testing.B) {
 	}
 }
 
+// skewedEmbeddingPair fabricates the adversarial input of the skew
+// benchmark: GCN-collapse-shaped embeddings where every row is
+// ±√(1−ρ²)·v along one shared dominant direction v plus a ρ-scaled unit
+// residual from a rank-r subspace orthogonal to v. Raw SRP hashing of
+// such rows degenerates — the sign pattern of v pins most code bits, so
+// rows pile into a handful of hot buckets — while the ranking signal
+// lives entirely in the residuals.
+func skewedEmbeddingPair(n, d, r int, rho float64, seed int64) (*dense.Matrix, *dense.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	basis := make([][]float64, r+1)
+	for bi := range basis {
+		u := make([]float64, d)
+		for j := range u {
+			u[j] = rng.NormFloat64()
+		}
+		for _, prev := range basis[:bi] {
+			var p float64
+			for j := range u {
+				p += u[j] * prev[j]
+			}
+			for j := range u {
+				u[j] -= p * prev[j]
+			}
+		}
+		var nrm float64
+		for _, x := range u {
+			nrm += x * x
+		}
+		nrm = 1 / math.Sqrt(nrm)
+		for j := range u {
+			u[j] *= nrm
+		}
+		basis[bi] = u
+	}
+	v := basis[0]
+	a := math.Sqrt(1 - rho*rho)
+	w := make([]float64, r)
+	gen := func(rows int) *dense.Matrix {
+		m := dense.New(rows, d)
+		for i := 0; i < rows; i++ {
+			c := a
+			if rng.Intn(2) == 1 {
+				c = -a
+			}
+			var nw float64
+			for l := range w {
+				w[l] = rng.NormFloat64()
+				nw += w[l] * w[l]
+			}
+			nw = 1 / math.Sqrt(nw)
+			row := m.Row(i)
+			for j := range row {
+				row[j] = c * v[j]
+				for l, u := range basis[1:] {
+					row[j] += rho * w[l] * nw * u[j]
+				}
+			}
+		}
+		return m
+	}
+	return gen(n), gen(n)
+}
+
+// BenchmarkAnnSkewAdversarial is the skew gate: candidate generation
+// over collapse-skewed embeddings, once with the data-aware balanced
+// hash (whitened projections, hot-bucket re-hash) and once with it
+// disabled, at equal bits/probes. The mean re-rank pool per query —
+// reported as pool-rows/op and snapshotted into BENCH_pipeline.json —
+// is the series scripts/bench_check.sh gates: the balanced index must
+// keep it ≥ 5× below the unbalanced one (see the ann and align skew
+// tests for the in-tree assertion of the same property, plus recall).
+func BenchmarkAnnSkewAdversarial(b *testing.B) {
+	hs, ht := skewedEmbeddingPair(10_000, 16, 4, 0.2, 17)
+	for _, bench := range []struct {
+		name       string
+		unbalanced bool
+	}{
+		{"balanced", false},
+		{"unbalanced", true},
+	} {
+		p := ann.Params{Bits: 12, Probes: 48, Seed: 19, Unbalanced: bench.unbalanced}
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var pool float64
+			for i := 0; i < b.N; i++ {
+				_, st := align.ANNCandidatesStats(hs, ht, 16, p, 1)
+				pool = st.PoolRowsMean()
+			}
+			b.ReportMetric(pool, "pool-rows/op")
+		})
+	}
+}
+
 // edgeListText generates a SNAP-style edge-list pair as in-memory text:
 // n named nodes with ≈ 4 random neighbours each for the source, the same
 // network with 5% of edges dropped for the target. The text round-trips
@@ -263,10 +359,11 @@ func BenchmarkAlignAnnIngested100K(b *testing.B) {
 	src, tgt := edgeListText(100_000, 13)
 	cfg := Config{
 		Variant: LowOrderFT, Hidden: 16, Embed: 8,
-		Epochs: 4, M: 10, MaxFineTuneIters: 1, Seed: 1, Workers: 1,
+		Epochs: 4, M: 10, MaxFineTuneIters: 2, Seed: 1, Workers: 1,
 		Similarity: SimANN,
 	}
 	b.ReportAllocs()
+	var st AnnStats
 	for i := 0; i < b.N; i++ {
 		ls, err := ingest.Load(strings.NewReader(src), ingest.Options{})
 		if err != nil {
@@ -285,7 +382,14 @@ func BenchmarkAlignAnnIngested100K(b *testing.B) {
 		if res.SimBackend != "ann" {
 			b.Fatalf("ran %s, want ann", res.SimBackend)
 		}
+		st = *res.Ann
 	}
+	// The mean re-rank pool is the work-per-query series the snapshot
+	// gates; the refit reuse ratio proves the incremental path engaged
+	// across the two fine-tune iterations (rows that barely moved kept
+	// their codes instead of being re-projected).
+	b.ReportMetric(st.PoolRowsMean, "pool-rows/op")
+	b.ReportMetric(st.RefitReuseRatio, "refit-reuse/op")
 }
 
 // BenchmarkAlignLarge is the scaling probe: one heavier orbit-variant run

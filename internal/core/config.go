@@ -243,6 +243,13 @@ type Config struct {
 	// hatch: every bucket is scanned and the run is bit-identical to
 	// SimTopK. Like AnnBits, it is rejected under other backends.
 	AnnProbes int `json:"ann_probes,omitempty"`
+	// AnnPoolCap, when positive, bounds the candidate pool the ANN
+	// backend re-ranks per query: the probe sequence stops once that many
+	// rows are gathered (never below CandidateK). It hard-caps per-query
+	// latency on skewed inputs at a measurable recall cost; 0 (the
+	// default) leaves the pool bounded only by the probe budget. Like the
+	// other ann_* knobs it is rejected under other backends.
+	AnnPoolCap int `json:"ann_pool_cap,omitempty"`
 	// Seed drives every random choice (weight init); equal seeds give
 	// bit-identical runs.
 	Seed int64 `json:"seed,omitempty"`
@@ -411,6 +418,9 @@ func (c Config) ValidateSimilarity(ns, nt int) error {
 	if c.AnnProbes < 0 {
 		return fmt.Errorf("%w: ann_probes = %d (want 0 for automatic, or ≥ 1)", ErrBadAnnParam, c.AnnProbes)
 	}
+	if c.AnnPoolCap < 0 {
+		return fmt.Errorf("%w: ann_pool_cap = %d (want 0 for unbounded, or ≥ 1)", ErrBadAnnParam, c.AnnPoolCap)
+	}
 	backend := c.Similarity
 	if backend == SimAuto {
 		if ns == 0 && nt == 0 {
@@ -423,8 +433,8 @@ func (c Config) ValidateSimilarity(ns, nt int) error {
 	if backend == SimDense && c.CandidateK > 0 {
 		return fmt.Errorf("%w: candidate_k = %d but the %s backend scores every pair", ErrIgnoredSimKnob, c.CandidateK, backend)
 	}
-	if backend != SimANN && (c.AnnBits > 0 || c.AnnProbes > 0) {
-		return fmt.Errorf("%w: ann_bits/ann_probes set but the resolved backend is %s, not ann", ErrIgnoredSimKnob, backend)
+	if backend != SimANN && (c.AnnBits > 0 || c.AnnProbes > 0 || c.AnnPoolCap > 0) {
+		return fmt.Errorf("%w: ann_bits/ann_probes/ann_pool_cap set but the resolved backend is %s, not ann", ErrIgnoredSimKnob, backend)
 	}
 	return nil
 }

@@ -74,6 +74,13 @@ type Result struct {
 	// run — the code width and multi-probe budget actually used, whether
 	// configured or auto-sized (0 on dense and topk runs).
 	AnnBits, AnnProbes int
+	// AnnPoolCap echoes the configured per-query pool bound of an ann run
+	// (0 when unbounded, and on dense and topk runs).
+	AnnPoolCap int
+	// Ann is the merged skew-observability block of an ann run's LSH
+	// indices — both directions of every orbit's fine-tuning loop,
+	// accumulated over all iterations. Nil on dense and topk runs.
+	Ann *AnnStats
 	// PerOrbit reports each orbit's trusted-pair count and weight,
 	// ordered by orbit index — the data behind the paper's Fig. 6.
 	PerOrbit []OrbitOutcome
@@ -90,6 +97,58 @@ type Result struct {
 	// populated only when Config.KeepEmbeddings is set (the Fig. 11
 	// visualisation uses them) to keep normal runs lean.
 	SourceEmbeddings, TargetEmbeddings []*dense.Matrix
+}
+
+// AnnStats is the JSON-facing summary of an ann run's index statistics
+// (internal/ann.Stats plus the derived ratios): hash balance, query-side
+// pool work and incremental-refit reuse. The server embeds it in align
+// results; the CLIs print it.
+type AnnStats struct {
+	// Fits and RowsHashed count index (re)builds across the run and the
+	// rows hashed by them.
+	Fits       int64 `json:"fits"`
+	RowsHashed int64 `json:"rows_hashed"`
+	// Buckets, MaxBucket and RehashedBuckets describe hash balance: the
+	// first-level table size, the largest first-level bucket seen, and
+	// how many oversized buckets received a second-level table.
+	Buckets         int   `json:"buckets"`
+	MaxBucket       int   `json:"max_bucket"`
+	RehashedBuckets int64 `json:"rehashed_buckets"`
+	// OccupancyLog2[i] counts non-empty buckets holding [2^(i-1), 2^i)
+	// rows on the last fit (bin 1 = exactly 1 row).
+	OccupancyLog2 []int64 `json:"occupancy_log2,omitempty"`
+	// Queries, PoolRows, PoolRowsMean and PoolRowsMax describe query-side
+	// work: re-rank pool totals, mean and worst case per query.
+	Queries      int64   `json:"queries"`
+	PoolRows     int64   `json:"pool_rows"`
+	PoolRowsMean float64 `json:"pool_rows_mean"`
+	PoolRowsMax  int     `json:"pool_rows_max"`
+	// RowsReused, RowsRecoded and RefitReuseRatio report incremental
+	// refit: how many row codes survived fine-tune iterations unchanged
+	// versus recomputed, and the reused fraction.
+	RowsReused      int64   `json:"rows_reused"`
+	RowsRecoded     int64   `json:"rows_recoded"`
+	RefitReuseRatio float64 `json:"refit_reuse_ratio"`
+}
+
+// annStatsFrom converts the internal counter block into the JSON form,
+// materialising the derived ratios.
+func annStatsFrom(s ann.Stats) *AnnStats {
+	return &AnnStats{
+		Fits:            s.Fits,
+		RowsHashed:      s.Rows,
+		Buckets:         s.Buckets,
+		MaxBucket:       s.MaxBucket,
+		RehashedBuckets: s.Rehashed,
+		OccupancyLog2:   s.Occupancy,
+		Queries:         s.Queries,
+		PoolRows:        s.PoolRows,
+		PoolRowsMean:    s.PoolRowsMean(),
+		PoolRowsMax:     s.PoolRowsMax,
+		RowsReused:      s.Reused,
+		RowsRecoded:     s.Recoded,
+		RefitReuseRatio: s.ReuseRatio(),
+	}
 }
 
 // Predict returns, for every source node, the target node with the highest
@@ -264,7 +323,8 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	if backend == SimANN {
 		bits, probes := cfg.ResolveAnn(p.gs.N(), p.gt.N())
 		res.AnnBits, res.AnnProbes = bits, probes
-		annParams = ann.Params{Bits: bits, Probes: probes, Seed: cfg.Seed}
+		res.AnnPoolCap = cfg.AnnPoolCap
+		annParams = ann.Params{Bits: bits, Probes: probes, PoolCap: cfg.AnnPoolCap, Seed: cfg.Seed}
 	}
 	// Each in-flight fine-tune holds its similarity working set — a few
 	// ns×nt buffers on the dense backend, O((ns+nt)·k) candidate
@@ -304,14 +364,21 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var annTotals ann.Stats
 	for i, ft := range fts {
 		sims[i] = ft.Sim
 		trusted[i] = ft.Trusted
 		res.PerOrbit[i] = OrbitOutcome{Orbit: i, Trusted: ft.Trusted, Iters: ft.Iters}
+		if ft.AnnStats != nil {
+			annTotals.Merge(*ft.AnnStats)
+		}
 		if cfg.KeepEmbeddings {
 			res.SourceEmbeddings[i] = ft.Hs
 			res.TargetEmbeddings[i] = ft.Ht
 		}
+	}
+	if backend == SimANN {
+		res.Ann = annStatsFrom(annTotals)
 	}
 	res.Timings.FineTuning = time.Since(t0)
 	if err := ctx.Err(); err != nil {

@@ -48,6 +48,9 @@ type Options struct {
 	// automatic; the htc-experiments -ann-bits/-ann-probes flags).
 	AnnBits   int
 	AnnProbes int
+	// AnnPoolCap bounds the ANN backend's per-query re-rank pool (0 =
+	// unbounded; the htc-experiments -ann-pool-cap flag).
+	AnnPoolCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -70,7 +73,7 @@ func (o Options) htcConfig() core.Config {
 	return core.Config{
 		Hidden: 64, Embed: 32, Epochs: o.Epochs, Seed: o.Seed, Progress: o.Progress,
 		Similarity: o.Similarity, CandidateK: o.CandidateK,
-		AnnBits: o.AnnBits, AnnProbes: o.AnnProbes,
+		AnnBits: o.AnnBits, AnnProbes: o.AnnProbes, AnnPoolCap: o.AnnPoolCap,
 	}
 }
 

@@ -41,6 +41,15 @@ func TestAlignAnnJob(t *testing.T) {
 	if res.Eval == nil || res.Eval.Anchors == 0 {
 		t.Fatal("no evaluation against the dataset's ground truth")
 	}
+	if res.Ann == nil {
+		t.Fatal("ann job carries no ann_stats block")
+	}
+	if res.Ann.Fits <= 0 || res.Ann.RowsHashed <= 0 || res.Ann.Queries <= 0 || res.Ann.PoolRowsMean <= 0 {
+		t.Fatalf("empty ann_stats: %+v", res.Ann)
+	}
+	if res.Ann.Buckets != 1<<5 {
+		t.Fatalf("ann_stats buckets = %d, want %d", res.Ann.Buckets, 1<<5)
+	}
 }
 
 // TestAnnExactHatchMatchesTopK: a full-probe ann job and the equivalent
@@ -83,6 +92,8 @@ func TestRejectIgnoredSimKnobs(t *testing.T) {
 		{"ann_probes under dense", `{"similarity":"dense","ann_probes":4}`},
 		{"ann_bits out of range", `{"similarity":"ann","ann_bits":99}`},
 		{"negative ann_probes", `{"similarity":"ann","ann_probes":-1}`},
+		{"ann_pool_cap under topk", `{"similarity":"topk","ann_pool_cap":64}`},
+		{"negative ann_pool_cap", `{"similarity":"ann","ann_pool_cap":-1}`},
 	}
 	for _, tc := range cases {
 		body := fmt.Sprintf(`{"dataset":"synthetic","n":60,"config":%s}`, tc.config)
@@ -126,6 +137,17 @@ func TestAnnPrometheusCounters(t *testing.T) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
 	}
+	// The skew/refit observability counters exist and accumulated work:
+	// both runs re-ranked candidate pools, so the pool-rows counter must
+	// be positive (its exact value depends on the probe sequence).
+	for _, name := range []string{"htc_sim_ann_pool_rows", "htc_sim_ann_refit_reuse_total"} {
+		if !strings.Contains(text, "# TYPE "+name+" counter") {
+			t.Fatalf("metrics missing counter %s:\n%s", name, text)
+		}
+		if strings.Contains(text, name+" 0\n") && name == "htc_sim_ann_pool_rows" {
+			t.Fatalf("%s never accumulated:\n%s", name, text)
+		}
+	}
 }
 
 // TestCapabilities: the discovery endpoint names every backend with its
@@ -151,7 +173,7 @@ func TestCapabilities(t *testing.T) {
 	if _, ok := names["ann"]; !ok {
 		t.Fatalf("ann backend missing from %v", caps.SimilarityBackends)
 	}
-	for _, knob := range []string{"candidate_k", "ann_bits", "ann_probes"} {
+	for _, knob := range []string{"candidate_k", "ann_bits", "ann_probes", "ann_pool_cap"} {
 		if !contains(names["ann"], knob) {
 			t.Fatalf("ann backend does not advertise %s: %v", knob, names["ann"])
 		}

@@ -224,7 +224,7 @@ func (r *AlignRequest) buildInline(maxNodes int) error {
 
 // validateSimilarity rejects contradictory similarity settings at
 // admission — out-of-range knobs, and knobs the resolved backend would
-// silently ignore (candidate_k under dense, ann_bits/ann_probes under
+// silently ignore (candidate_k under dense, the ann_* knobs under
 // dense or topk). Inline and uploaded pairs are already materialised at
 // this point, so the check runs against the backend the run will
 // actually resolve to; built-in generator requests check sizelessly (the
@@ -358,6 +358,13 @@ type AlignResult struct {
 	// run — configured or auto-sized (absent on dense and topk runs).
 	AnnBits   int `json:"ann_bits,omitempty"`
 	AnnProbes int `json:"ann_probes,omitempty"`
+	// AnnPoolCap echoes the configured per-query re-rank pool bound of an
+	// ann run (absent when unbounded, and on dense and topk runs).
+	AnnPoolCap int `json:"ann_pool_cap,omitempty"`
+	// Ann is the skew-observability block of an ann run: hash balance
+	// (bucket occupancy, re-hashed hot buckets), per-query pool work and
+	// incremental-refit reuse. Absent on dense and topk runs.
+	Ann *core.AnnStats `json:"ann_stats,omitempty"`
 	// Cached reports that the result was served from the content-hash
 	// cache rather than recomputed.
 	Cached bool `json:"cached"`

@@ -46,6 +46,14 @@ type Metrics struct {
 	SimTopKRuns     atomic.Int64
 	SimAnnRuns      atomic.Int64
 	SimAnnExactRuns atomic.Int64
+	// SimAnnPoolRows accumulates the candidate rows ANN runs gathered for
+	// exact re-ranking — the work-per-query series; divided by queries it
+	// exposes skew (a balanced hash keeps the mean pool near k, hot
+	// buckets inflate it). SimAnnRefitReuse accumulates the rows whose
+	// hash codes survived a fine-tune refit unchanged — the incremental
+	// refit win.
+	SimAnnPoolRows   atomic.Int64
+	SimAnnRefitReuse atomic.Int64
 }
 
 // recordBackend tallies one completed pipeline run under its resolved
@@ -56,6 +64,10 @@ func (m *Metrics) recordBackend(res *core.Result) {
 		m.SimAnnRuns.Add(1)
 		if res.AnnBits > 0 && res.AnnProbes >= 1<<res.AnnBits {
 			m.SimAnnExactRuns.Add(1)
+		}
+		if res.Ann != nil {
+			m.SimAnnPoolRows.Add(res.Ann.PoolRows)
+			m.SimAnnRefitReuse.Add(res.Ann.RowsReused)
 		}
 	case "topk":
 		m.SimTopKRuns.Add(1)
@@ -87,6 +99,8 @@ func (m *Metrics) writePrometheus(w io.Writer, extras map[string]float64) {
 	counter("htc_sim_topk_runs_total", "Pipeline runs that used the top-k similarity backend.", m.SimTopKRuns.Load())
 	counter("htc_sim_ann_runs_total", "Pipeline runs that used the approximate (LSH) similarity backend.", m.SimAnnRuns.Load())
 	counter("htc_sim_ann_exact_runs_total", "ANN runs whose probe budget covered every bucket (exactness escape hatch).", m.SimAnnExactRuns.Load())
+	counter("htc_sim_ann_pool_rows", "Candidate rows gathered for exact re-ranking across ANN runs.", m.SimAnnPoolRows.Load())
+	counter("htc_sim_ann_refit_reuse_total", "Rows whose hash codes were reused across fine-tune refits in ANN runs.", m.SimAnnRefitReuse.Load())
 	fmt.Fprintf(w, "# HELP htc_jobs_running Jobs currently holding a worker.\n# TYPE htc_jobs_running gauge\nhtc_jobs_running %d\n", m.JobsRunning.Load())
 	names := make([]string, 0, len(extras))
 	for name := range extras {

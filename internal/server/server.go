@@ -338,6 +338,8 @@ func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 		CandidateK:    res.CandidateK,
 		AnnBits:       res.AnnBits,
 		AnnProbes:     res.AnnProbes,
+		AnnPoolCap:    res.AnnPoolCap,
+		Ann:           res.Ann,
 	}
 	for src, tgt := range match {
 		if tgt >= 0 {
@@ -591,7 +593,7 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		case core.SimTopK:
 			info.Knobs = []string{"candidate_k"}
 		case core.SimANN:
-			info.Knobs = []string{"candidate_k", "ann_bits", "ann_probes"}
+			info.Knobs = []string{"candidate_k", "ann_bits", "ann_probes", "ann_pool_cap"}
 		}
 		backends = append(backends, info)
 	}
