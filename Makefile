@@ -22,10 +22,20 @@ test:
 test-ann:
 	$(GO) test -race -count=1 ./internal/ann/...
 
+# Static analysis at full strength: gofmt, the whole stock vet suite
+# plus an explicit, addressable copylocks pass, a tidy-module check, and
+# htc-lint — the project-specific analyzers under internal/analysis
+# (paramflow, detrange, knobcover, metricdiscipline). x/tools' shadow
+# and nilness vet passes cannot be fetched in the offline build, so
+# htc-lint ships native implementations of both; `go tool vet help`
+# lists neither because they were never in the stock distribution.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "these files need gofmt:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) vet -copylocks ./...
+	$(GO) mod tidy -diff
+	$(GO) run ./cmd/htc-lint ./...
 
 # One iteration of every benchmark — a smoke run proving the bench
 # harness works, not a measurement.

@@ -1,0 +1,65 @@
+// Command htc-lint runs the project's invariant checkers — the
+// determinism, worker-budget, config-threading and metrics contracts of
+// internal/analysis — over the named packages, in the style of a
+// go/analysis multichecker:
+//
+//	htc-lint ./...
+//	htc-lint -list
+//
+// It exits 0 when every contract holds, 1 with file:line:col findings
+// otherwise, and 2 on a loading or internal failure. Deliberate
+// exceptions are annotated in the source under review:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The directive covers its own line, or — as a standalone or
+// doc-comment line — the first code line after its comment block. The
+// reason is mandatory, and a directive naming an unknown analyzer is
+// itself a finding, so a typo cannot silently disable a check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/htc-align/htc/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and their contracts, then exit")
+	dir := flag.String("C", ".", "directory to resolve package patterns in (the module root)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: htc-lint [-C dir] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htc-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "htc-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

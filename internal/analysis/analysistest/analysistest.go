@@ -1,0 +1,122 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone (the offline build cannot fetch x/tools).
+//
+// Fixtures live under testdata/src/<path> relative to the calling test,
+// one directory per package, GOPATH-style: the relative path is the
+// package's import path, so fixture packages can import each other.
+// A line expecting a diagnostic says:
+//
+//	sum += v // want "float accumulation"
+//
+// The quoted string is a regular expression matched against the
+// diagnostics reported for that line. Every want must be matched by a
+// diagnostic and every diagnostic by a want; either kind of leftover
+// fails the test. Suppression directives (//lint:allow) are honoured
+// exactly as in the real driver, so fixtures also lock the directive
+// behaviour.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/htc-align/htc/internal/analysis"
+)
+
+// wantRE matches one expectation comment. Expectations use the
+// analysistest syntax: `// want "regexp"` with optional extra quoted
+// regexps for lines expecting several diagnostics.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the fixture packages at the given testdata/src-relative
+// paths as one program, runs the analyzer, and matches diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadDirs("testdata/src", pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgPaths, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for file, lines := range sources(pkg) {
+			for i, text := range lines {
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, pattern := range splitQuoted(t, file, i+1, m[1]) {
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, pattern, err)
+					}
+					wants[key{file, i + 1}] = append(wants[key{file, i + 1}], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// sources exposes each fixture file's lines for want scanning.
+func sources(pkg *analysis.Package) map[string][]string {
+	return pkg.Sources()
+}
+
+// splitQuoted extracts the quoted regexps of one want comment.
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var patterns []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s:%d: malformed want comment: expectations must be quoted, got %q", file, line, s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want comment %q: %v", file, line, s, err)
+		}
+		unquoted, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want comment %q: %v", file, line, s, err)
+		}
+		patterns = append(patterns, unquoted)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	if len(patterns) == 0 {
+		t.Fatalf("%s:%d: want comment carries no expectations", file, line)
+	}
+	return patterns
+}

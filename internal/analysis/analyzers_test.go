@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/htc-align/htc/internal/analysis"
+	"github.com/htc-align/htc/internal/analysis/analysistest"
+)
+
+func TestParamflow(t *testing.T) {
+	analysistest.Run(t, analysis.Paramflow, "paramflow")
+}
+
+// TestParamflowANNRegression locks the PR 7 bug class: ANNCandidates
+// accepted a workers budget and ran serial because the argument never
+// reached the scratch walker.
+func TestParamflowANNRegression(t *testing.T) {
+	analysistest.Run(t, analysis.Paramflow, "annregression")
+}
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, analysis.Detrange, "detrange")
+}
+
+func TestKnobcover(t *testing.T) {
+	analysistest.Run(t, analysis.Knobcover, "knobcover/core", "knobcover/server")
+}
+
+func TestMetricdiscipline(t *testing.T) {
+	analysistest.Run(t, analysis.Metricdiscipline, "metricdiscipline")
+}
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, analysis.Shadow, "shadow")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, analysis.Nilness, "nilness")
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detrange enforces the bit-identity contract against Go's randomized
+// map iteration order. Ranging over a map is fine when the body is
+// order-insensitive (counting, building another map, writing each key's
+// own slot); it is a determinism bug the moment the body
+//
+//   - accumulates floating-point values (float addition does not
+//     commute bit-for-bit, so the sum depends on visit order),
+//   - appends to a slice declared outside the loop (the slice's element
+//     order becomes random) without the slice being sorted afterwards
+//     in the same function, or
+//   - writes output directly (fmt printing, Write/WriteString methods,
+//     hash updates) — bytes leave in random order.
+//
+// The sanctioned pattern is collect-keys → sort → range the sorted
+// slice; an append whose result is visibly sorted later in the same
+// function is recognised as exactly that idiom and not reported.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc: "map iteration must not feed float accumulation, unsorted appends " +
+		"or direct output: iteration order is randomized and would break " +
+		"the pipeline's bit-identical-results guarantee",
+	Run: runDetrange,
+}
+
+func runDetrange(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		// Walk function by function so the append-then-sort exemption
+		// can see the statements following each range loop.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges finds every map range in one function body and vets
+// its loop body for order-sensitive sinks.
+func checkMapRanges(pass *Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if rng.Key == nil && rng.Value == nil {
+			// `for range m` only counts iterations; the body cannot
+			// observe the order.
+			return true
+		}
+		reportSinks(pass, rng, fnBody)
+		return true
+	})
+}
+
+// reportSinks walks one map-range body for order-sensitive operations.
+func reportSinks(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			switch stmt.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range stmt.Lhs {
+					if isOrderSensitiveAccum(info, lhs) {
+						pass.Reportf(stmt.Pos(),
+							"%s accumulation inside a map range: iteration order changes the result bits; iterate sorted keys instead",
+							accumKind(info, lhs))
+					}
+				}
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range stmt.Rhs {
+					if i >= len(stmt.Lhs) {
+						break
+					}
+					checkAppend(pass, rng, fnBody, stmt.Lhs[i], rhs)
+					if stmt.Tok == token.ASSIGN && isSelfAccum(info, stmt.Lhs[i], rhs) {
+						pass.Reportf(stmt.Pos(),
+							"%s accumulation inside a map range: iteration order changes the result bits; iterate sorted keys instead",
+							accumKind(info, stmt.Lhs[i]))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, isOutput := outputCall(info, stmt); isOutput {
+				pass.Reportf(stmt.Pos(),
+					"%s inside a map range writes output in randomized order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// isOrderSensitiveAccum reports whether compound-assigning into lhs is
+// order-sensitive: float and complex addition/multiplication do not
+// commute bit-for-bit, and string += concatenates in visit order.
+// Integer accumulation commutes exactly and passes.
+func isOrderSensitiveAccum(info *types.Info, lhs ast.Expr) bool {
+	tv, ok := info.Types[lhs]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+func accumKind(info *types.Info, lhs ast.Expr) string {
+	if tv, ok := info.Types[lhs]; ok {
+		if basic, ok := tv.Type.Underlying().(*types.Basic); ok {
+			switch {
+			case basic.Info()&types.IsString != 0:
+				return "string"
+			case basic.Info()&types.IsComplex != 0:
+				return "complex"
+			}
+		}
+	}
+	return "floating-point"
+}
+
+// isSelfAccum matches the spelled-out form `x = x + v` (and -, *, /)
+// of an order-sensitive accumulation.
+func isSelfAccum(info *types.Info, lhs ast.Expr, rhs ast.Expr) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	if !isOrderSensitiveAccum(info, lhs) {
+		return false
+	}
+	lobj := exprObject(info, lhs)
+	return lobj != nil && (exprObject(info, bin.X) == lobj || exprObject(info, bin.Y) == lobj)
+}
+
+// checkAppend flags `s = append(s, ...)` where s outlives the loop and
+// is never sorted afterwards in the same function.
+func checkAppend(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt, lhs ast.Expr, rhs ast.Expr) {
+	info := pass.Pkg.Info
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return
+	}
+	if obj, isBuiltin := info.Uses[fun].(*types.Builtin); !isBuiltin || obj.Name() != "append" {
+		return
+	}
+	obj := exprObject(info, lhs)
+	if obj == nil {
+		return
+	}
+	// A slice declared inside the loop body dies each iteration; its
+	// order cannot leak.
+	if rng.Body.Pos() <= obj.Pos() && obj.Pos() <= rng.Body.End() {
+		return
+	}
+	if sortedAfter(info, fnBody, rng, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to %q inside a map range leaves its elements in randomized order; sort it afterwards or iterate sorted keys", obj.Name())
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the
+// range loop within the same function — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprObject(info, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall matches calls into the sort and slices packages.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkgName.Imported().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// outputCall matches direct output from a loop body: fmt's Print family
+// and Write/WriteString/WriteByte/WriteRune methods (io.Writer,
+// strings.Builder, hash.Hash — anything where bytes leave in call
+// order).
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkgID, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := info.Uses[pkgID].(*types.PkgName); ok {
+			if pkgName.Imported().Path() == "fmt" {
+				switch sel.Sel.Name {
+				case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+					return "fmt." + sel.Sel.Name, true
+				}
+			}
+			return "", false
+		}
+	}
+	// Method form: anything that takes bytes in call order.
+	if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// exprObject resolves an expression to the object it names, seeing
+// through parens: plain identifiers and field selectors.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if selection, ok := info.Selections[e]; ok {
+			return selection.Obj()
+		}
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //lint:allow comment. It suppresses the
+// named analyzer on the line it shares with code, or — for a standalone
+// comment (including a line inside a doc-comment block) — on the first
+// code line following its comment block.
+type directive struct {
+	file     string
+	line     int // the comment's own line
+	applies  int // the code line the directive covers
+	analyzer string
+}
+
+const directivePrefix = "//lint:allow"
+
+// directiveIndex answers "is this diagnostic allowed?" lookups.
+type directiveIndex map[string]map[int]map[string]bool // file → line → analyzer
+
+func (ix directiveIndex) suppresses(d Diagnostic) bool {
+	return ix[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+func (ix directiveIndex) add(file string, line int, analyzer string) {
+	byLine, ok := ix[file]
+	if !ok {
+		byLine = make(map[int]map[string]bool)
+		ix[file] = byLine
+	}
+	byAnalyzer, ok := byLine[line]
+	if !ok {
+		byAnalyzer = make(map[string]bool)
+		byLine[line] = byAnalyzer
+	}
+	byAnalyzer[analyzer] = true
+}
+
+// collectDirectives scans every comment of every package for
+// //lint:allow directives, building the suppression index. Malformed
+// directives (no reason) and directives naming an analyzer outside the
+// running roster are reported as diagnostics themselves: a typo in a
+// directive must not silently re-enable a finding.
+func collectDirectives(pkgs []*Package, analyzers []*Analyzer) (directiveIndex, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ix := make(directiveIndex)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, directivePrefix)
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "directive",
+							Message: "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\""})
+						continue
+					case len(fields) == 1:
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "directive",
+							Message: "//lint:allow " + fields[0] + " needs a reason: deliberate exceptions are documented, not just waved through"})
+						continue
+					case !known[fields[0]]:
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "directive",
+							Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", fields[0])})
+						continue
+					}
+					ix.add(pos.Filename, pos.Line, fields[0])
+					if standalone(pkg, pos) {
+						// A standalone comment (or doc-comment line)
+						// covers the first code line after its block.
+						end := pkg.Fset.Position(group.End())
+						ix.add(pos.Filename, end.Line+1, fields[0])
+					}
+				}
+			}
+		}
+	}
+	return ix, diags
+}
+
+// standalone reports whether the comment starting at pos has nothing but
+// whitespace before it on its line — i.e. it is not trailing code.
+func standalone(pkg *Package, pos token.Position) bool {
+	lines := pkg.src[pos.Filename]
+	if pos.Line-1 >= len(lines) {
+		return false
+	}
+	return strings.TrimSpace(lines[pos.Line-1][:pos.Column-1]) == ""
+}

@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/htc-align/htc/internal/analysis"
+)
+
+// TestDirectives drives the suppression grammar end to end: a
+// well-formed //lint:allow absorbs its finding, while malformed or
+// unknown directives surface as findings of their own. (The fixture
+// cannot express these with want comments — the diagnostics land on
+// the directive's own line, which is all comment.)
+func TestDirectives(t *testing.T) {
+	pkgs, err := analysis.LoadDirs("testdata/src", "directives")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{analysis.Detrange})
+	if err != nil {
+		t.Fatalf("running detrange: %v", err)
+	}
+	want := []string{
+		`malformed //lint:allow`,
+		`//lint:allow detrange needs a reason`,
+		`names unknown analyzer "nosuchpass"`,
+		`floating-point accumulation inside a map range`,
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for _, sub := range want {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q; got:\n%v", sub, diags)
+		}
+	}
+	// The suppressed function's finding must not survive: exactly one
+	// detrange diagnostic, in reported().
+	detrange := 0
+	for _, d := range diags {
+		if d.Analyzer == "detrange" {
+			detrange++
+		}
+	}
+	if detrange != 1 {
+		t.Errorf("got %d detrange diagnostics, want 1 (the directive must absorb the other)", detrange)
+	}
+}

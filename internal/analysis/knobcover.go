@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// Knobcover enforces the config-threading contract across packages:
+// every JSON-tagged field of core.Config is a user-visible knob, and a
+// knob must be (a) actually read by pipeline code, (b) defaulted or
+// validated when it is a bare numeric, (c) covered by the ignored-knob
+// rejection when it only applies to some similarity backends, and
+// (d) documented whenever it is excluded from the request-hash cache
+// identity. PR 6 and PR 7 guarded each of these by hand-written tests
+// per knob; this analyzer guards the whole class:
+//
+//   - dead knob: a JSON-tagged Config field no non-test code reads
+//     would accept user input and silently ignore it.
+//   - unvalidated numeric: a plain int/int64/float64 knob that appears
+//     in neither withDefaults nor ValidateSimilarity ships whatever the
+//     client sent straight into the pipeline (enum-typed knobs validate
+//     through their UnmarshalText instead and are exempt).
+//   - ignored-knob coverage: candidate_k and every ann_* knob must be
+//     checked in ValidateSimilarity — the function behind the server's
+//     ignored-knob 400s.
+//   - cache-identity exclusions: a `json:"-"` field, and every field
+//     canonicalConfig (the server's cache-key normaliser) overwrites,
+//     is invisible to result caching; each such exclusion must carry a
+//     //lint:allow knobcover <reason> directive explaining why caching
+//     may ignore it. Structurally, cacheKey must go through
+//     canonicalConfig and canonicalConfig through WithDefaults, so
+//     equivalent configs keep hashing equal.
+var Knobcover = &Analyzer{
+	Name: "knobcover",
+	Doc: "every JSON-tagged core.Config knob must be read by the pipeline, " +
+		"defaulted/validated, covered by the ignored-knob check when " +
+		"backend-conditional, and documented when excluded from cache identity",
+	RunProgram: runKnobcover,
+}
+
+// knobField is one JSON-visible (or deliberately JSON-hidden) field of
+// core.Config.
+type knobField struct {
+	name     string // Go field name
+	jsonName string // first element of the json tag; "-" if hidden
+	pos      token.Pos
+	numeric  bool // bare (unnamed) int/int64/float64 etc.
+
+	used       bool // read anywhere in the loaded program
+	inDefaults bool // read inside withDefaults
+	inValidate bool // read inside ValidateSimilarity
+}
+
+func runKnobcover(pass *ProgramPass) error {
+	core := findPackage(pass, "core")
+	if core == nil {
+		return nil // partial load: nothing to check against
+	}
+	fields, structPos := configFields(core)
+	if fields == nil {
+		return nil
+	}
+
+	// Spans of core's normalisation/validation functions, so a use
+	// inside them can be told apart from a use elsewhere.
+	defaultsSpan := funcSpan(core, "withDefaults")
+	validateSpan := funcSpan(core, "ValidateSimilarity")
+	if !defaultsSpan.valid() {
+		pass.Reportf(structPos, "core.Config has no withDefaults normaliser; the config-threading contract needs one")
+		return nil
+	}
+	if !validateSpan.valid() {
+		pass.Reportf(structPos, "core.Config has no ValidateSimilarity; the ignored-knob contract needs one")
+		return nil
+	}
+
+	for _, pkg := range pass.Packages {
+		markConfigUses(pkg, fields, defaultsSpan, validateSpan)
+	}
+
+	for _, f := range fields {
+		if f.jsonName == "-" {
+			pass.Reportf(f.pos,
+				"Config.%s is excluded from JSON and so from cache identity; justify with //lint:allow knobcover <reason>", f.name)
+			continue
+		}
+		if !f.used {
+			pass.Reportf(f.pos,
+				"Config.%s (%q) is a dead knob: no non-test code reads it, so user input would be silently ignored", f.name, f.jsonName)
+			continue
+		}
+		if f.numeric && !f.inDefaults && !f.inValidate {
+			pass.Reportf(f.pos,
+				"Config.%s (%q) is a bare numeric knob referenced in neither withDefaults nor ValidateSimilarity: out-of-range client input reaches the pipeline unchecked", f.name, f.jsonName)
+		}
+		if (f.jsonName == "candidate_k" || strings.HasPrefix(f.jsonName, "ann_")) && !f.inValidate {
+			pass.Reportf(f.pos,
+				"Config.%s (%q) is backend-conditional but never checked in ValidateSimilarity: the server's ignored-knob 400 cannot cover it", f.name, f.jsonName)
+		}
+	}
+
+	if server := findPackage(pass, "server"); server != nil {
+		checkServerCacheKey(pass, server)
+	}
+	return nil
+}
+
+// findPackage returns the loaded package with the given package name,
+// or nil.
+func findPackage(pass *ProgramPass, name string) *Package {
+	for _, pkg := range pass.Packages {
+		if pkg.Types.Name() == name {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// configFields reads core.Config's field roster from its struct
+// declaration.
+func configFields(core *Package) (map[string]*knobField, token.Pos) {
+	var fields map[string]*knobField
+	var structPos token.Pos
+	for _, file := range core.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok || spec.Name.Name != "Config" {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			structPos = spec.Pos()
+			fields = make(map[string]*knobField)
+			for _, field := range st.Fields.List {
+				var tag string
+				if field.Tag != nil {
+					unquoted := strings.Trim(field.Tag.Value, "`")
+					tag = reflect.StructTag(unquoted).Get("json")
+				}
+				jsonName, _, _ := strings.Cut(tag, ",")
+				if jsonName == "" {
+					continue // untagged fields are not knobs
+				}
+				for _, name := range field.Names {
+					obj := core.Info.Defs[name]
+					_, bare := obj.Type().(*types.Basic)
+					numeric := false
+					if basic, ok := obj.Type().Underlying().(*types.Basic); ok {
+						numeric = bare && basic.Info()&types.IsNumeric != 0
+					}
+					fields[name.Name] = &knobField{
+						name: name.Name, jsonName: jsonName, pos: name.Pos(), numeric: numeric,
+					}
+				}
+			}
+			return false
+		})
+	}
+	return fields, structPos
+}
+
+// span is a position interval within the shared fileset.
+type span struct{ from, to token.Pos }
+
+func (s span) valid() bool               { return s.from.IsValid() }
+func (s span) contains(p token.Pos) bool { return s.valid() && s.from <= p && p <= s.to }
+
+// funcSpan locates the body span of the named function in pkg (any
+// receiver).
+func funcSpan(pkg *Package, name string) span {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == name && fn.Body != nil {
+				return span{from: fn.Body.Pos(), to: fn.Body.End()}
+			}
+		}
+	}
+	return span{}
+}
+
+// markConfigUses scans one package for reads of core.Config fields —
+// selector expressions and keyed struct literals — and marks the
+// matching knobs, noting which land inside withDefaults or
+// ValidateSimilarity.
+func markConfigUses(pkg *Package, fields map[string]*knobField, defaultsSpan, validateSpan span) {
+	mark := func(name string, pos token.Pos) {
+		f, ok := fields[name]
+		if !ok {
+			return
+		}
+		f.used = true
+		if defaultsSpan.contains(pos) {
+			f.inDefaults = true
+		}
+		if validateSpan.contains(pos) {
+			f.inValidate = true
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() == types.FieldVal && isCoreConfig(sel.Recv()) {
+					mark(n.Sel.Name, n.Sel.Pos())
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pkg.Info.Types[n]; ok && isCoreConfig(tv.Type) {
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if key, ok := kv.Key.(*ast.Ident); ok {
+								mark(key.Name, key.Pos())
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCoreConfig reports whether t is (a pointer to) the Config struct of
+// a package named core.
+func isCoreConfig(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Config" && obj.Pkg() != nil && obj.Pkg().Name() == "core"
+}
+
+// checkServerCacheKey verifies the server side of the contract: the
+// cache key goes through canonicalConfig, canonicalConfig normalises
+// through WithDefaults, and every field canonicalConfig overwrites (a
+// deliberate cache-identity exclusion) is justified by a directive.
+func checkServerCacheKey(pass *ProgramPass, server *Package) {
+	canonical := findFuncDecl(server, "canonicalConfig")
+	if canonical == nil {
+		return // a server without a result cache has no contract to check
+	}
+	if cacheKey := findFuncDecl(server, "cacheKey"); cacheKey != nil {
+		if !referencesFunc(server, cacheKey.Body, "canonicalConfig") {
+			pass.Reportf(cacheKey.Pos(),
+				"cacheKey does not normalise the config through canonicalConfig: equivalent configs would hash to different cache entries")
+		}
+	}
+	callsWithDefaults := false
+	ast.Inspect(canonical.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "WithDefaults" {
+				callsWithDefaults = true
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					if s, ok := server.Info.Selections[sel]; ok && s.Kind() == types.FieldVal && isCoreConfig(s.Recv()) {
+						pass.Reportf(n.Pos(),
+							"canonicalConfig strips Config.%s from the cache key; justify with //lint:allow knobcover <reason>", sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !callsWithDefaults {
+		pass.Reportf(canonical.Pos(),
+			"canonicalConfig does not call WithDefaults: an unset knob and its explicit default would hash to different cache entries")
+	}
+}
+
+// findFuncDecl locates a top-level function by name.
+func findFuncDecl(pkg *Package, name string) *ast.FuncDecl {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == name && fn.Body != nil {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// referencesFunc reports whether body mentions the package-level
+// function with the given name.
+func referencesFunc(pkg *Package, body ast.Node, name string) bool {
+	target := pkg.Types.Scope().Lookup(name)
+	if target == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader resolves dependencies through compiled export data rather
+// than by type-checking source transitively: `go list -export` hands
+// back build-cache export files for every dependency, and the standard
+// gc importer reads them. That keeps a whole-repo lint run to one `go
+// list` invocation plus a source type-check of only the packages under
+// analysis, works fully offline, and never disagrees with the compiler
+// about what a dependency exports.
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -json` in dir over the patterns and
+// decodes the stream.
+func goList(dir string, extraArgs []string, patterns ...string) ([]*listedPackage, error) {
+	args := []string{"list", "-e", "-export", "-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Error"}
+	args = append(args, extraArgs...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export-data readers for the gc
+// importer. Paths missing from the pre-listed map (test-only
+// dependencies, fixture imports) fall back to an on-demand `go list` of
+// that single package.
+type exportLookup struct {
+	dir     string
+	exports map[string]string
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		pkgs, err := goList(l.dir, []string{"-deps"}, path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving import %q: %w", path, err)
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+		if file, ok = l.exports[path]; !ok {
+			return nil, fmt.Errorf("no export data for import %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// newInfo allocates the fact tables every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load lists the patterns relative to dir (the module root in normal
+// use), parses and type-checks every matched package from source, and
+// resolves their dependencies through export data. It is the loader
+// behind `htc-lint ./...`.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, []string{"-deps"}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	lookup := &exportLookup{dir: dir, exports: make(map[string]string, len(listed))}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			lookup.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup.lookup)
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []string
+		for _, gf := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, gf))
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDirs parses and type-checks one package per directory, resolving
+// imports between the listed directories by import path and everything
+// else through export data. It exists for the analysistest fixtures
+// under testdata/src: root is the testdata/src directory, and each
+// relative dir doubles as the fixture package's import path, mirroring
+// the GOPATH layout x/tools' analysistest uses.
+func LoadDirs(root string, dirs ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	lookup := &exportLookup{dir: root, exports: make(map[string]string)}
+	imp := importer.ForCompiler(fset, "gc", lookup.lookup)
+	// Fixture packages may import each other (knobcover's core/server
+	// pair); resolve those source-to-source ahead of the gc importer.
+	fix := &fixtureImporter{root: root, fset: fset, fallback: imp, cache: make(map[string]*types.Package)}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		full := filepath.Join(root, filepath.FromSlash(dir))
+		files, err := goFilesIn(full)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := check(fset, fix, dir, full, files)
+		if err != nil {
+			return nil, err
+		}
+		fix.cache[dir] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// fixtureImporter resolves fixture-local import paths from source under
+// root and defers everything else to the export-data importer.
+type fixtureImporter struct {
+	root     string
+	fset     *token.FileSet
+	fallback types.Importer
+	cache    map[string]*types.Package
+}
+
+func (f *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := f.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(f.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		files, err := goFilesIn(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := check(f.fset, f, path, dir, files)
+		if err != nil {
+			return nil, err
+		}
+		f.cache[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return f.fallback.Import(path)
+}
+
+// goFilesIn lists the non-test .go files of one directory, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: fset, src: make(map[string][]string, len(files))}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, file, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", file, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.src[file] = strings.Split(string(src), "\n")
+	}
+	conf := types.Config{Importer: imp}
+	info := newInfo()
+	tpkg, err := conf.Check(path, fset, pkg.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}

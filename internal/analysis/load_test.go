@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/htc-align/htc/internal/analysis"
+)
+
+// TestLoadRepoPackage drives the production loader — `go list -export`
+// plus a source type-check — against a real repo package, the same path
+// `htc-lint ./...` takes.
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./internal/graph")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types == nil || pkg.Types.Name() != "graph" {
+		t.Fatalf("unexpected package: %+v", pkg.Types)
+	}
+	if len(pkg.Files) == 0 || pkg.Info == nil {
+		t.Fatalf("package loaded without syntax or type info")
+	}
+}

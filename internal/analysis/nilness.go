@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is the project's stand-in for x/tools' SSA-based nilness vet
+// pass (the offline build cannot fetch that module). It proves the
+// guaranteed-panic subset without SSA: inside a branch taken only when
+// a variable is known nil — `if x == nil { ... }`, or the else arm of
+// `if x != nil` — dereferencing that variable must panic. Reported
+// dereferences are pointer field selection, pointer indirection,
+// slice indexing and calling the variable as a function. Reads that are
+// legal on nil values (map indexing, len/cap, method calls with
+// nil-tolerant receivers, comparisons) stay legal.
+//
+// The branch is skipped as soon as it reassigns or takes the address of
+// the variable: after that the nil fact no longer holds.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc: "a branch entered only when a variable is nil must not dereference " +
+		"it: the dereference is a guaranteed panic",
+	Run: runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, eq := nilComparison(info, ifStmt.Cond)
+			if obj == nil {
+				return true
+			}
+			if eq {
+				checkNilBranch(pass, ifStmt.Body, obj)
+			} else if els, ok := ifStmt.Else.(*ast.BlockStmt); ok {
+				checkNilBranch(pass, els, obj)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison decomposes `x == nil` / `x != nil` (either operand
+// order) into the compared variable and the comparison's polarity.
+// Only nil-able, dereferenceable types are interesting.
+func nilComparison(info *types.Info, cond ast.Expr) (obj types.Object, eq bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(info, y) {
+		// x <op> nil
+	} else if isNilIdent(info, x) {
+		x = y
+	} else {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Signature:
+		return v, bin.Op == token.EQL
+	}
+	return nil, false
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilBranch reports guaranteed dereferences of obj inside a branch
+// where obj is known nil. Any reassignment or address-taking of obj in
+// the branch invalidates the fact, so the whole branch is skipped.
+func checkNilBranch(pass *Pass, branch *ast.BlockStmt, obj types.Object) {
+	info := pass.Pkg.Info
+	if reassigns(info, branch, obj) {
+		return
+	}
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The closure may run after obj was reassigned elsewhere.
+			return false
+		case *ast.SelectorExpr:
+			if refersTo(info, n.X, obj) {
+				// Field selection through a nil pointer panics; method
+				// values/calls may be legal on nil receivers.
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					pass.Reportf(n.Pos(), "field access %s.%s: %s is nil here, this panics",
+						obj.Name(), n.Sel.Name, obj.Name())
+				}
+			}
+		case *ast.StarExpr:
+			if refersTo(info, n.X, obj) {
+				pass.Reportf(n.Pos(), "dereference of %s: it is nil here, this panics", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if refersTo(info, n.X, obj) {
+				if _, isSlice := typeOf(info, n.X).Underlying().(*types.Slice); isSlice {
+					pass.Reportf(n.Pos(), "index of %s: it is a nil slice here, this panics", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if refersTo(info, n.Fun, obj) {
+				pass.Reportf(n.Pos(), "call of %s: it is a nil function here, this panics", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// reassigns reports whether the branch writes obj or takes its address.
+func reassigns(info *types.Info, branch ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if refersTo(info, lhs, obj) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && refersTo(info, n.X, obj) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil && refersTo(info, n.Key, obj) || n.Value != nil && refersTo(info, n.Value, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func refersTo(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}

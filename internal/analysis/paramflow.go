@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Paramflow enforces the worker-budget and cancellation threading
+// contracts: a function that declares a `workers int` parameter or a
+// `context.Context` parameter must read it — normally to pass it down
+// to internal/par, a dense kernel, or a child call. A parameter that is
+// declared but never used means a parallel stage silently running at
+// the wrong width (PR 7's ANNCandidates took a workers argument and ran
+// serial) or a cancellation that silently never propagates.
+//
+// Discarding on purpose is spelled `_` (for interface conformance the
+// name cannot always change, so `//lint:allow paramflow <reason>` on
+// the declaration works too).
+var Paramflow = &Analyzer{
+	Name: "paramflow",
+	Doc: "workers/context parameters must be used or explicitly discarded: " +
+		"a dropped `workers int` runs a parallel stage at the wrong width, " +
+		"a dropped context.Context never observes cancellation",
+	Run: runParamflow,
+}
+
+func runParamflow(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || ftype.Params == nil {
+				return true
+			}
+			for _, field := range ftype.Params.List {
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					kind, ok := budgetParam(pass, name)
+					if !ok {
+						continue
+					}
+					if !usesObject(pass, body, pass.Pkg.Info.Defs[name]) {
+						pass.Reportf(name.Pos(),
+							"%s parameter %q is declared but never used: thread it down or discard it explicitly as _",
+							kind, name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// budgetParam classifies a parameter ident as one of the contract's
+// tracked kinds: a worker budget (`workers int`, by name and type) or a
+// cancellation context (any parameter of type context.Context, whatever
+// its name).
+func budgetParam(pass *Pass, name *ast.Ident) (kind string, ok bool) {
+	obj := pass.Pkg.Info.Defs[name]
+	if obj == nil {
+		return "", false
+	}
+	t := obj.Type()
+	if name.Name == "workers" {
+		if basic, isBasic := t.(*types.Basic); isBasic && basic.Kind() == types.Int {
+			return "worker-budget", true
+		}
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		tn := named.Obj()
+		if tn.Name() == "Context" && tn.Pkg() != nil && tn.Pkg().Path() == "context" {
+			return "context", true
+		}
+	}
+	return "", false
+}
+
+// usesObject reports whether any identifier inside body resolves to obj.
+func usesObject(pass *Pass, body ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,9 @@
+package analysis
+
+// All lists every htc-lint analyzer, in the order diagnostics group
+// most readably: the two determinism/threading contracts first, then
+// the cross-package config contract, then observability, then the two
+// stand-ins for x/tools vet passes the offline build cannot fetch.
+func All() []*Analyzer {
+	return []*Analyzer{Paramflow, Detrange, Knobcover, Metricdiscipline, Shadow, Nilness}
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow is the project's stand-in for x/tools' shadow vet pass (the
+// offline build cannot fetch that module). It reports the dangerous
+// subset of variable shadowing: a `:=` or `var` declaration inside a
+// nested scope reusing the name of a function-level variable whose
+// outer value is then READ after the inner scope ends, before anything
+// overwrites it. That is the `if x, err := f(); ...` class of bug —
+// code updates the inner copy believing it updates the outer one, then
+// consumes the stale outer value.
+//
+// Two deliberate exclusions keep the idiomatic cases legal: function
+// and closure parameters never shadow (a parameter is a new binding at
+// an explicit call boundary), and an outer variable whose first use
+// after the scope is a plain reassignment is not reported (the stale
+// value is dead, so nothing can read it).
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc: "a := or var declaration must not shadow a function-level variable " +
+		"whose stale value is read after the inner scope ends",
+	Run: runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// First and subsequent uses of every object, split into reads
+		// and plain-assignment writes, collected once per file.
+		type use struct {
+			pos   token.Pos
+			write bool
+		}
+		usesOf := make(map[types.Object][]use)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					return true // compound assignment reads; fall through
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							usesOf[obj] = append(usesOf[obj], use{id.Pos(), true})
+						}
+						continue
+					}
+					// A compound target (m[k] = v, s.f = v) reads the
+					// variables inside it.
+					ast.Inspect(lhs, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							if obj := info.Uses[id]; obj != nil {
+								usesOf[obj] = append(usesOf[obj], use{id.Pos(), false})
+							}
+						}
+						return true
+					})
+				}
+				for _, rhs := range n.Rhs {
+					ast.Inspect(rhs, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							if obj := info.Uses[id]; obj != nil {
+								usesOf[obj] = append(usesOf[obj], use{id.Pos(), false})
+							}
+						}
+						return true
+					})
+				}
+				return false
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil {
+					usesOf[obj] = append(usesOf[obj], use{n.Pos(), false})
+				}
+			}
+			return true
+		})
+
+		report := func(id *ast.Ident) {
+			inner, ok := info.Defs[id].(*types.Var)
+			if !ok || id.Name == "_" {
+				return
+			}
+			innerScope := inner.Parent()
+			if innerScope == nil {
+				return
+			}
+			outer := shadowedVar(pass.Pkg, innerScope, id.Name, id.Pos())
+			if outer == nil || outer == inner {
+				return
+			}
+			// Find the outer variable's first use after the inner scope
+			// closes; only a READ consumes the potentially-stale value.
+			var first *use
+			for i := range usesOf[outer] {
+				u := &usesOf[outer][i]
+				if u.pos <= innerScope.End() {
+					continue
+				}
+				if first == nil || u.pos < first.pos {
+					first = u
+				}
+			}
+			if first != nil && !first.write {
+				pass.Reportf(id.Pos(),
+					"declaration of %q shadows the variable declared at %s, whose stale value is read after this scope ends",
+					id.Name, pass.Pkg.Fset.Position(outer.Pos()))
+			}
+		}
+
+		// Only := and var declarations shadow dangerously; function and
+		// closure parameters are new bindings by design and skipped.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							report(id)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Tok == token.DEFINE {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok {
+							report(id)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, id := range n.Names {
+					report(id)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// shadowedVar looks the name up in the scopes enclosing the
+// declaration's own scope and returns the function-level variable it
+// shadows, or nil. Package-level and universe names are skipped —
+// shadowing those is routine (err, min, max) and x/tools' pass skips
+// them too.
+func shadowedVar(pkg *Package, innerScope *types.Scope, name string, pos token.Pos) *types.Var {
+	parent := innerScope.Parent()
+	if parent == nil {
+		return nil
+	}
+	scope, obj := parent.LookupParent(name, pos)
+	if scope == nil || obj == nil {
+		return nil
+	}
+	if scope == types.Universe || scope == pkg.Types.Scope() {
+		return nil
+	}
+	outer, ok := obj.(*types.Var)
+	if !ok || outer.IsField() {
+		return nil
+	}
+	return outer
+}

@@ -1,0 +1,46 @@
+// Package annregression reproduces the PR 7 ANNCandidates bug in
+// miniature: the entry point accepted a workers budget and silently ran
+// the scan serial because the argument was never threaded into the
+// scratch walker. Paramflow must flag exactly this shape.
+package annregression
+
+type matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+type params struct {
+	Tables int
+	Bits   int
+}
+
+type candidates struct {
+	K     int
+	Lists [][]int32
+}
+
+type annScratch struct {
+	p params
+}
+
+func (s *annScratch) topK(hs, ht *matrix, k, workers int) *candidates {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &candidates{K: k, Lists: make([][]int32, hs.rows)}
+}
+
+// ANNCandidates mirrors the regression: the budget parameter exists so
+// callers believe the scan parallelises, but the body passes a literal
+// width to topK and never reads workers.
+func ANNCandidates(hs, ht *matrix, k, workers int, p params) *candidates { // want `worker-budget parameter "workers" is declared but never used`
+	s := &annScratch{p: p}
+	return s.topK(hs, ht, k, 0)
+}
+
+// ANNCandidatesFixed is the corrected form: the budget reaches the
+// walker.
+func ANNCandidatesFixed(hs, ht *matrix, k, workers int, p params) *candidates {
+	s := &annScratch{p: p}
+	return s.topK(hs, ht, k, workers)
+}

@@ -1,0 +1,101 @@
+// Package detrange exercises the determinism checks on map iteration:
+// order-sensitive accumulation, unsorted appends and direct output
+// inside a map range are findings; the collect-then-sort idiom and
+// order-insensitive bodies are not.
+package detrange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside a map range`
+	}
+	return sum
+}
+
+// intAccumOK: integer addition commutes exactly, so order cannot leak.
+func intAccumOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// selfAccum is the spelled-out form of the same bug.
+func selfAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation inside a map range`
+	}
+	return total
+}
+
+func stringAccum(m map[string]string) string {
+	out := ""
+	for _, v := range m {
+		out += v // want `string accumulation inside a map range`
+	}
+	return out
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map range`
+	}
+	return keys
+}
+
+// sortedAppend is the sanctioned collect-then-sort idiom.
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// loopLocalAppend: a slice born inside the loop dies each iteration.
+func loopLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func output(m map[string]int, w *strings.Builder) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside a map range writes output in randomized order`
+		w.WriteString(k)  // want `WriteString inside a map range writes output in randomized order`
+		_ = v
+	}
+}
+
+// countOnly: a keyless range cannot observe iteration order.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// allowed demonstrates a documented exception: the directive suppresses
+// the finding on its own line.
+func allowed(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //lint:allow detrange this report tolerates last-bit drift by design
+	}
+	return sum
+}

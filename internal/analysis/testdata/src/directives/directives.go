@@ -1,0 +1,33 @@
+// Package directives exercises the //lint:allow grammar: a well-formed
+// directive suppresses its line, while a directive missing its
+// analyzer, missing its reason, or naming an unknown analyzer is itself
+// a finding.
+package directives
+
+//lint:allow
+var missingAnalyzer = 1
+
+//lint:allow detrange
+var missingReason = 2
+
+//lint:allow nosuchpass because the roster does not know it
+var unknownAnalyzer = 3
+
+// suppressed shows a well-formed directive absorbing a real finding.
+func suppressed(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //lint:allow detrange the fixture documents deliberate drift
+	}
+	return sum
+}
+
+// reported is the control: the same pattern without a directive must
+// still be a finding.
+func reported(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

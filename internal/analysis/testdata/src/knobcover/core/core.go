@@ -1,0 +1,65 @@
+// Package core is the knobcover fixture's pipeline side: a Config with
+// one field per contract clause — defaulted, validated, dead,
+// unvalidated, backend-conditional, and two JSON-hidden fields (one
+// justified, one not).
+package core
+
+// Observer receives progress callbacks.
+type Observer func(stage string)
+
+// Config mirrors the real pipeline config shape.
+type Config struct {
+	K          int     `json:"k"`
+	Epochs     int     `json:"epochs"`
+	CandidateK int     `json:"candidate_k"`
+	AnnBits    int     `json:"ann_bits"` // want `backend-conditional but never checked in ValidateSimilarity`
+	Loose      float64 `json:"loose"`    // want `referenced in neither withDefaults nor ValidateSimilarity`
+	Dead       int     `json:"dead"`     // want `dead knob`
+	Name       string  `json:"name"`
+	Hidden     int     `json:"-"` // want `excluded from JSON and so from cache identity`
+	//lint:allow knobcover progress callbacks observe the run and never influence the result
+	Progress Observer `json:"-"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 13
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if c.AnnBits <= 0 {
+		c.AnnBits = 16
+	}
+	return c
+}
+
+// WithDefaults is the exported normaliser callers outside core use.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+// ValidateSimilarity rejects knobs the selected backend ignores.
+func ValidateSimilarity(c Config) error {
+	if c.CandidateK < 0 {
+		return errNegative
+	}
+	return nil
+}
+
+type configError string
+
+func (e configError) Error() string { return string(e) }
+
+const errNegative = configError("candidate_k must be non-negative")
+
+// Align consumes the knobs the way the real pipeline does.
+func Align(c Config) float64 {
+	c = c.withDefaults()
+	v := c.Loose * float64(c.K)
+	if c.Name != "" {
+		v++
+	}
+	for e := 0; e < c.Epochs; e++ {
+		v += 1
+	}
+	return v
+}

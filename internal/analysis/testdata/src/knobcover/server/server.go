@@ -1,0 +1,25 @@
+// Package server is the knobcover fixture's cache side: cacheKey must
+// normalise through canonicalConfig, canonicalConfig must normalise
+// through WithDefaults, and every field it strips from the cache
+// identity needs a //lint:allow justification.
+package server
+
+import (
+	"fmt"
+
+	"knobcover/core"
+)
+
+// cacheKey hashes the canonical form of the request config.
+func cacheKey(cfg core.Config) string {
+	return fmt.Sprint(canonicalConfig(cfg))
+}
+
+// canonicalConfig normalises a config for hashing.
+func canonicalConfig(cfg core.Config) core.Config {
+	cfg = cfg.WithDefaults()
+	cfg.Name = "" // want `strips Config.Name from the cache key`
+	//lint:allow knobcover epochs beyond convergence do not change the fixture's result
+	cfg.Epochs = 0
+	return cfg
+}

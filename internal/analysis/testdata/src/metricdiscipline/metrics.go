@@ -1,0 +1,39 @@
+// Package metricdiscipline exercises the observability contract: every
+// exported atomic counter field must be incremented, exposed in the
+// Prometheus rendering, and exported under an htc_-prefixed name.
+package metricdiscipline
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the fixture's collector roster.
+type Metrics struct {
+	Aligns   atomic.Int64
+	Dead     atomic.Int64 // want `collector Dead is neither incremented nor exposed`
+	Flatline atomic.Int64 // want `collector Flatline is exposed but never incremented`
+	Hidden   atomic.Int64 // want `collector Hidden is incremented but never exposed`
+	Renamed  atomic.Int64
+
+	// seq is unexported concurrency state, not a collector.
+	seq atomic.Int64
+}
+
+func (m *Metrics) observe() {
+	m.Aligns.Add(1)
+	m.Hidden.Add(1)
+	m.Renamed.Add(1)
+	m.seq.Add(1)
+}
+
+func render(w io.Writer, m *Metrics) {
+	counter(w, "htc_aligns_total", m.Aligns.Load())
+	counter(w, "htc_flatline_total", m.Flatline.Load())
+	fmt.Fprintf(w, "# HELP aligns_renamed_total renders\naligns_renamed_total %d\n", m.Renamed.Load()) // want `exposed under "aligns_renamed_total"`
+}
+
+func counter(w io.Writer, name string, v int64) {
+	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+}

@@ -1,0 +1,71 @@
+// Package nilness exercises the guaranteed-panic check: dereferencing a
+// variable inside a branch entered only when it is nil.
+package nilness
+
+type node struct {
+	X    int
+	next *node
+}
+
+func (n *node) count() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.next.count()
+}
+
+func field(p *node) int {
+	if p == nil {
+		return p.X // want `field access p.X: p is nil here, this panics`
+	}
+	return p.X
+}
+
+func deref(p *int) int {
+	if p != nil {
+		return *p
+	} else {
+		return *p // want `dereference of p: it is nil here, this panics`
+	}
+}
+
+func index(s []float64) float64 {
+	if s == nil {
+		return s[0] // want `index of s: it is a nil slice here, this panics`
+	}
+	return s[0]
+}
+
+func call(f func() int) int {
+	if f == nil {
+		return f() // want `call of f: it is a nil function here, this panics`
+	}
+	return f()
+}
+
+// reassigned: writing the variable inside the branch invalidates the
+// nil fact, so the whole branch is skipped.
+func reassigned(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.X
+	}
+	return p.X
+}
+
+// methodOK: calling a method with a nil-tolerant pointer receiver is
+// legal on a nil pointer.
+func methodOK(p *node) int {
+	if p == nil {
+		return p.count()
+	}
+	return p.count()
+}
+
+// lenOK: len of a nil slice is zero, not a panic.
+func lenOK(s []int) int {
+	if s == nil {
+		return len(s)
+	}
+	return len(s)
+}

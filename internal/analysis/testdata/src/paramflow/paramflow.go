@@ -1,0 +1,49 @@
+// Package paramflow exercises the worker-budget and context threading
+// checks: a `workers int` or context.Context parameter must be read or
+// explicitly discarded.
+package paramflow
+
+import "context"
+
+// used threads its budget down; nothing to report.
+func used(workers int) int {
+	return workers * 2
+}
+
+func droppedWorkers(workers int) int { // want `worker-budget parameter "workers" is declared but never used`
+	return 0
+}
+
+// discarded spells the discard explicitly; `_` is never tracked.
+func discarded(_ int, k int) int {
+	return k
+}
+
+func usedCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func droppedCtx(ctx context.Context, k int) int { // want `context parameter "ctx" is declared but never used`
+	return k
+}
+
+// closures are held to the same contract as declared functions.
+func closure() func(int) int {
+	return func(workers int) int { // want `worker-budget parameter "workers" is declared but never used`
+		return 1
+	}
+}
+
+// notBudget is untracked: the contract keys on `workers int` by name
+// AND type.
+func notBudget(workers string) string {
+	return ""
+}
+
+// conformance keeps a fixed signature on purpose; the directive
+// documents the exception and suppresses the finding.
+//
+//lint:allow paramflow interface conformance pins the signature; this stub never parallelises
+func conformance(workers int) int {
+	return 7
+}

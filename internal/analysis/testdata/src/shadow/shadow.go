@@ -1,0 +1,71 @@
+// Package shadow exercises the stale-read shadowing check: an inner :=
+// or var declaration reusing a function-level name is a finding only
+// when the outer variable's stale value is read after the scope ends.
+package shadow
+
+var global = 1
+
+func stale() int {
+	v := 1
+	if global > 0 {
+		v := 2 // want `declaration of "v" shadows the variable declared at`
+		_ = v
+	}
+	return v
+}
+
+// overwritten: the outer value is dead after the scope (first use is a
+// plain reassignment), so nothing stale can be read.
+func overwritten() int {
+	v := 1
+	if global > 0 {
+		v := 2
+		_ = v
+	}
+	v = 3
+	return v
+}
+
+func rangeShadow(xs []int) int {
+	i := 7
+	for i := range xs { // want `declaration of "i" shadows the variable declared at`
+		_ = i
+	}
+	return i
+}
+
+func varShadow() string {
+	s := "outer"
+	{
+		var s = "inner" // want `declaration of "s" shadows the variable declared at`
+		_ = s
+	}
+	return s
+}
+
+// paramOK: parameters are new bindings at an explicit call boundary,
+// never shadowing.
+func paramOK() int {
+	n := 1
+	double := func(n int) int { return n * 2 }
+	return double(n) + n
+}
+
+// globalOK: package-level names (like err, min, max in real code) are
+// routinely shadowed; the pass skips them.
+func globalOK() int {
+	global := 2
+	return global
+}
+
+// innerOnly: the shadowed outer variable is never touched again, so the
+// inner declaration is harmless.
+func innerOnly() int {
+	v := 1
+	_ = v
+	if global > 0 {
+		v := 2
+		return v
+	}
+	return 0
+}

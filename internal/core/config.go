@@ -252,6 +252,7 @@ type Config struct {
 	AnnPoolCap int `json:"ann_pool_cap,omitempty"`
 	// Seed drives every random choice (weight init); equal seeds give
 	// bit-identical runs.
+	//lint:allow knobcover every int64 is a valid seed, so there is nothing to default or reject
 	Seed int64 `json:"seed,omitempty"`
 	// Workers bounds the CPU fan-out of the whole pipeline: orbit
 	// counting, the per-epoch training passes, the per-orbit fine-tuning
@@ -272,6 +273,7 @@ type Config struct {
 	// pure observation channel — it never influences the result — so,
 	// like Workers, it is excluded from JSON serialisation and result
 	// caching.
+	//lint:allow knobcover progress observers never influence the result, so cache identity may ignore them
 	Progress Observer `json:"-"`
 	// Seeds are known anchor links (source, target). HTC is fully
 	// unsupervised, but Proposition 2 treats "trusted (or known)" anchor
@@ -314,6 +316,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFineTuneIters <= 0 {
 		c.MaxFineTuneIters = 30
+	}
+	if c.Patience < 0 {
+		// Negative patience trains the full budget exactly like 0
+		// (nn.Train only engages early stopping when positive);
+		// normalising here makes the two spellings share one cache
+		// identity.
+		c.Patience = 0
 	}
 	if c.DiffusionAlpha <= 0 || c.DiffusionAlpha >= 1 {
 		c.DiffusionAlpha = 0.15

@@ -118,7 +118,16 @@ func renderFig9(points []RobustnessPoint) string {
 		ratios = append(ratios, r)
 	}
 	sort.Float64s(ratios)
-	for ds, methods := range byDataset {
+	// Print dataset sections in sorted order: ranging the map directly
+	// rendered the report in a different order every run (htc-lint
+	// detrange catch).
+	datasets := make([]string, 0, len(byDataset))
+	for ds := range byDataset {
+		datasets = append(datasets, ds)
+	}
+	sort.Strings(datasets)
+	for _, ds := range datasets {
+		methods := byDataset[ds]
 		fmt.Fprintf(&b, "\n-- %s --\n%-8s", ds, "method")
 		for _, r := range ratios {
 			fmt.Fprintf(&b, " %7.1f", r)

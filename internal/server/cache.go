@@ -61,6 +61,7 @@ func cacheKey(req *AlignRequest) (string, error) {
 // fields that cannot influence the result (currently the worker budget).
 func canonicalConfig(cfg core.Config) core.Config {
 	cfg = cfg.WithDefaults()
+	//lint:allow knobcover workers is a pure performance knob: results are bit-identical at every worker count
 	cfg.Workers = 0
 	return cfg
 }
