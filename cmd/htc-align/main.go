@@ -8,7 +8,8 @@
 //	          [-variant HTC|HTC-L|HTC-H|HTC-LT|HTC-DT[,more...]] [-seed 1]
 //	          [-truth truth.txt] [-top 1] [-progress]
 //	          [-sim auto|dense|topk|ann] [-topk K] [-ann-bits B] [-ann-probes P]
-//	          [-ann-pool-cap C]
+//	          [-ann-pool-cap C] [-precision auto|f64|f32]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -format selects the input reader; the default sniffs each file by
 // content, so SNAP-style edge lists, JSON GraphSpecs, adjacency lists
@@ -36,6 +37,15 @@
 // implies -sim ann). ANN runs print a "# ann:" line with the index's
 // skew statistics — bucket balance, re-hashed hot buckets, mean/max
 // re-rank pool and the refit reuse ratio across fine-tune iterations.
+//
+// -precision selects the fine-tune compute tier: f64 (exact), f32 (the
+// half-width tier of the candidate backends — roughly halves similarity
+// memory traffic) or auto (the default — f32 past the same size
+// threshold that selects the ANN backend). Training always runs f64.
+//
+// -cpuprofile and -memprofile write pprof CPU and heap profiles of the
+// run; the "# timings:" line additionally breaks down per-stage heap
+// allocation so regressions are visible without a profile.
 package main
 
 import (
@@ -43,6 +53,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -68,6 +80,9 @@ func main() {
 	annBits := flag.Int("ann-bits", 0, "ANN LSH code width in bits (0 = automatic; implies -sim ann when set)")
 	annProbes := flag.Int("ann-probes", 0, "ANN buckets probed per query (0 = automatic; implies -sim ann when set)")
 	annPoolCap := flag.Int("ann-pool-cap", 0, "ANN per-query re-rank pool bound (0 = unbounded; implies -sim ann when set)")
+	precision := flag.String("precision", "auto", "fine-tune compute tier: auto, f64 or f32")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if *sourcePath == "" || *targetPath == "" {
@@ -77,6 +92,36 @@ func main() {
 	backend, err := htc.ParseSimBackend(*sim)
 	if err != nil {
 		log.Fatal(err)
+	}
+	prec, err := htc.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 	if *topk < 0 {
 		log.Fatalf("-topk must be ≥ 1 (got %d); 0 selects the automatic count", *topk)
@@ -103,7 +148,7 @@ func main() {
 		variants = append(variants, v)
 	}
 
-	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap}
+	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap, Precision: prec}
 	if *progress {
 		base.Progress = progressLogger()
 	}
@@ -138,6 +183,7 @@ func main() {
 		if res.AnnBits > 0 {
 			simNote = fmt.Sprintf("%s bits=%d probes=%d", simNote, res.AnnBits, res.AnnProbes)
 		}
+		simNote = fmt.Sprintf("%s prec=%s", simNote, res.Precision)
 		fmt.Printf("# aligned %d source nodes (%s) to %d target nodes (%s) (%s, %s)\n",
 			gs.N(), pair.SourceFormat, gt.N(), pair.TargetFormat, v, simNote)
 		fmt.Printf("# timings: %v\n", res.Timings)

@@ -6,7 +6,7 @@
 //	htc-experiments -run table1|table2|table3|fig6|fig7|fig8|fig9|fig10|fig11|all
 //	                [-scale 1.0] [-seed 1] [-epochs 0] [-progress]
 //	                [-sim auto|dense|topk|ann] [-topk K] [-ann-bits B] [-ann-probes P]
-//	                [-ann-pool-cap C]
+//	                [-ann-pool-cap C] [-precision auto|f64|f32]
 //	htc-experiments -source s.edges -target t.edges [-truth pairs.tsv]
 //	                [-format auto|htc-graph|edgelist|json|adjlist] ...
 //
@@ -20,7 +20,8 @@
 // per-stage pipeline progress to stderr. -sim/-topk and the -ann-* flags
 // select and tune the HTC similarity backend (baselines are unaffected),
 // so the top-k and ANN approximations can be measured against the paper
-// numbers. Output is
+// numbers; -precision selects the fine-tune compute tier the same way
+// (f32 requires a candidate backend). Output is
 // plain text, one section per artefact; EXPERIMENTS.md records a
 // reference run.
 //
@@ -55,6 +56,7 @@ func main() {
 	annBits := flag.Int("ann-bits", 0, "ANN LSH code width in bits (0 = automatic; implies -sim ann when set)")
 	annProbes := flag.Int("ann-probes", 0, "ANN buckets probed per query (0 = automatic; implies -sim ann when set)")
 	annPoolCap := flag.Int("ann-pool-cap", 0, "ANN per-query re-rank pool bound (0 = unbounded; implies -sim ann when set)")
+	precision := flag.String("precision", "auto", "HTC fine-tune compute tier: auto, f64 or f32")
 	sourcePath := flag.String("source", "", "custom run: source graph file (any registered format)")
 	targetPath := flag.String("target", "", "custom run: target graph file")
 	format := flag.String("format", "", "custom run: input format (default: sniff by content)")
@@ -75,7 +77,11 @@ func main() {
 	} else if *topk > 0 && backend == htc.SimilarityAuto {
 		backend = htc.SimilarityTopK
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap}
+	prec, err := htc.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap, Precision: prec}
 	if *progress {
 		o.Progress = stageLogger()
 	}

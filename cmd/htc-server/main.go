@@ -6,6 +6,7 @@
 //
 //	htc-server [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	           [-prepared-cache N] [-dataset-cache N] [-max-nodes N] [-quiet]
+//	           [-pprof]
 //
 // Endpoints (see internal/server):
 //
@@ -25,6 +26,10 @@
 //	GET    /v1/healthz       liveness and queue occupancy
 //	GET    /v1/metrics       Prometheus text metrics
 //
+// -pprof additionally mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ (off by default: profiles expose internals, so the
+// operator opts in explicitly).
+//
 // Example:
 //
 //	htc-server -addr :8080 &
@@ -38,6 +43,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -59,6 +65,7 @@ func main() {
 	datasetCache := flag.Int("dataset-cache", 16, "uploaded-dataset store capacity in entries")
 	maxNodes := flag.Int("max-nodes", 20000, "per-graph node limit at admission (-1 = unlimited)")
 	quiet := flag.Bool("quiet", false, "suppress per-job logging")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	opts := server.Options{
@@ -74,9 +81,24 @@ func main() {
 	}
 	svc := server.New(opts)
 
+	handler := http.Handler(svc)
+	if *pprofOn {
+		// The service owns its own mux, so the pprof handlers are mounted
+		// explicitly rather than through the DefaultServeMux side effect.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", svc)
+		handler = mux
+		log.Print("profiling enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

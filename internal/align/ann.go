@@ -30,13 +30,9 @@ func (s *annScratch) topK(hs, ht *dense.Matrix, k, workers int) *Candidates {
 		panic(fmt.Sprintf("align: ANNCandidates k = %d < 1", k))
 	}
 	s.a = dense.Ensure(s.a, hs.Rows, hs.Cols)
-	s.a.CopyFrom(hs)
 	s.b = dense.Ensure(s.b, ht.Rows, ht.Cols)
-	s.b.CopyFrom(ht)
-	s.a.CenterRows()
-	s.a.NormalizeRows()
-	s.b.CenterRows()
-	s.b.NormalizeRows()
+	dense.CenterNormalizeRowsInto(s.a, hs)
+	dense.CenterNormalizeRowsInto(s.b, ht)
 	if s.ix == nil {
 		s.ix = ann.New(s.p)
 	}

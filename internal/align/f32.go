@@ -1,0 +1,162 @@
+// The float32 compute tier of candidate generation. Stage-3 training
+// hands fine-tuning float64 embeddings; these scratches convert them
+// once per iteration — through the fused center/normalise kernel — into
+// half-width copies and run the bandwidth-bound work (blocked top-k
+// projection, LSH hashing, exact re-rank) on float32 values with float64
+// accumulators. Candidate lists stay float64 (scores widen on store, a
+// monotonic map, so ordering is exactly the f32 comparison order), which
+// keeps every downstream consumer — hubness, LISI, trusted pairs,
+// integration, matching — byte-for-byte identical code in both tiers.
+package align
+
+import (
+	"fmt"
+
+	"github.com/htc-align/htc/internal/ann"
+	"github.com/htc-align/htc/internal/dense"
+	"github.com/htc-align/htc/internal/par"
+)
+
+// topkScratch32 is topkScratch on the float32 tier: half-width
+// centered/normalised embedding copies and per-worker float32 sim
+// blocks. Halving the element width doubles both the rows per cache
+// line and the effective capacity of each 4 MiB block budget.
+type topkScratch32 struct {
+	a, b   *dense.Matrix32
+	blocks []*dense.Matrix32
+	heaps  []candHeap
+}
+
+// topK mirrors topkScratch.topK over float32 embeddings. Scores are
+// accumulated in float64 per cell and stored as float32 (see
+// dense.MulBTInto32); the selection heap compares the widened stored
+// values, so results are bit-identical for every worker count.
+func (s *topkScratch32) topK(hs, ht *dense.Matrix, k, workers int) *Candidates {
+	if k < 1 {
+		panic(fmt.Sprintf("align: TopKCandidates k = %d < 1", k))
+	}
+	if k > ht.Rows {
+		k = ht.Rows
+	}
+	s.a = dense.Ensure32(s.a, hs.Rows, hs.Cols)
+	s.b = dense.Ensure32(s.b, ht.Rows, ht.Cols)
+	dense.CenterNormalizeRowsInto32(s.a, hs)
+	dense.CenterNormalizeRowsInto32(s.b, ht)
+
+	ns, nt := hs.Rows, ht.Rows
+	out := &Candidates{
+		K:     k,
+		Idx:   make([][]int32, ns),
+		Score: make([][]float64, ns),
+	}
+	idxBack := make([]int32, ns*k)
+	scoreBack := make([]float64, ns*k)
+	for i := 0; i < ns; i++ {
+		out.Idx[i] = idxBack[i*k : i*k+k : i*k+k]
+		out.Score[i] = scoreBack[i*k : i*k+k : i*k+k]
+	}
+	if ns == 0 || k == 0 {
+		return out
+	}
+
+	blockRows := topkBlockRows(nt)
+	nBlocks := (ns + blockRows - 1) / blockRows
+	w := par.Resolve(workers)
+	if w > nBlocks {
+		w = nBlocks
+	}
+	if len(s.blocks) < w {
+		s.blocks = append(s.blocks, make([]*dense.Matrix32, w-len(s.blocks))...)
+	}
+	if len(s.heaps) < w {
+		s.heaps = append(s.heaps, make([]candHeap, w-len(s.heaps))...)
+	}
+	a, b := s.a, s.b
+	par.Sharded(w, nBlocks, func(worker, blk int) {
+		start := blk * blockRows
+		end := start + blockRows
+		if end > ns {
+			end = ns
+		}
+		rows := end - start
+		s.blocks[worker] = dense.Ensure32(s.blocks[worker], blockRows, nt)
+		sim := &dense.Matrix32{Rows: rows, Cols: nt, Data: s.blocks[worker].Data[:rows*nt]}
+		block := &dense.Matrix32{Rows: rows, Cols: a.Cols, Data: a.Data[start*a.Cols : end*a.Cols]}
+		dense.MulBTInto32(sim, block, b, 1)
+		h := &s.heaps[worker]
+		for r := 0; r < rows; r++ {
+			h.selectInto32(out.Idx[start+r], out.Score[start+r], sim.Row(r))
+		}
+	})
+	return out
+}
+
+// selectInto32 is selectInto over a float32 similarity row: candidates
+// are compared on the stored half-width values and the winners' scores
+// widen on output. float32→float64 conversion is monotonic and
+// injective, so the (score desc, index asc) order of the widened row
+// equals the float32 order.
+func (h *candHeap) selectInto32(outIdx []int32, outScore []float64, row []float32) {
+	k := len(outIdx)
+	if k == 0 {
+		return
+	}
+	h.idx = h.idx[:0]
+	h.score = h.score[:0]
+	for j, f := range row {
+		v := float64(f)
+		if len(h.idx) < k {
+			h.idx = append(h.idx, int32(j))
+			h.score = append(h.score, v)
+			h.siftUp(len(h.idx) - 1)
+			continue
+		}
+		if v > h.score[0] || (v == h.score[0] && int32(j) < h.idx[0]) {
+			h.idx[0], h.score[0] = int32(j), v
+			h.siftDown(0, k)
+		}
+	}
+	n := len(h.idx)
+	for p := n - 1; p >= 0; p-- {
+		outIdx[p], outScore[p] = h.idx[0], h.score[0]
+		h.swap(0, n-1)
+		n--
+		h.siftDown(0, n)
+	}
+}
+
+// annScratch32 is annScratch on the float32 tier: half-width
+// centered/normalised copies feeding the index's Fit32/TopK32 path. The
+// same amortisation applies — iterations after the first reuse the
+// copies, planes and bucket arrays.
+type annScratch32 struct {
+	p    ann.Params
+	a, b *dense.Matrix32
+	ix   *ann.Index
+}
+
+// topK mirrors annScratch.topK: a full-probe float32 index reproduces
+// topkScratch32.topK bit for bit (the re-rank rounds to float32 before
+// widening, matching the blocked kernel's store).
+func (s *annScratch32) topK(hs, ht *dense.Matrix, k, workers int) *Candidates {
+	if k < 1 {
+		panic(fmt.Sprintf("align: ANNCandidates k = %d < 1", k))
+	}
+	s.a = dense.Ensure32(s.a, hs.Rows, hs.Cols)
+	s.b = dense.Ensure32(s.b, ht.Rows, ht.Cols)
+	dense.CenterNormalizeRowsInto32(s.a, hs)
+	dense.CenterNormalizeRowsInto32(s.b, ht)
+	if s.ix == nil {
+		s.ix = ann.New(s.p)
+	}
+	s.ix.Fit32(s.b, workers)
+	r := s.ix.TopK32(s.a, k, workers)
+	return &Candidates{K: r.K, Idx: r.Idx, Score: r.Score}
+}
+
+func (s *annScratch32) stats() ann.Stats {
+	if s.ix == nil {
+		return ann.Stats{}
+	}
+	return s.ix.Stats()
+}

@@ -48,13 +48,9 @@ func (s *simScratch) corrInto(hs, ht *dense.Matrix, workers int) *dense.Matrix {
 		panic(fmt.Sprintf("align: embedding dims differ: %d vs %d", hs.Cols, ht.Cols))
 	}
 	s.a = dense.Ensure(s.a, hs.Rows, hs.Cols)
-	s.a.CopyFrom(hs)
 	s.b = dense.Ensure(s.b, ht.Rows, ht.Cols)
-	s.b.CopyFrom(ht)
-	s.a.CenterRows()
-	s.a.NormalizeRows()
-	s.b.CenterRows()
-	s.b.NormalizeRows()
+	dense.CenterNormalizeRowsInto(s.a, hs)
+	dense.CenterNormalizeRowsInto(s.b, ht)
 	s.corr = dense.Ensure(s.corr, hs.Rows, ht.Rows)
 	dense.MulBTInto(s.corr, s.a, s.b, workers)
 	return s.corr

@@ -71,14 +71,12 @@ func (s *topkScratch) topK(hs, ht *dense.Matrix, k, workers int) *Candidates {
 	if k > ht.Rows {
 		k = ht.Rows
 	}
+	// One fused pass per direction replaces the copy + center + normalize
+	// sequence — bit-identical arithmetic, a third of the memory traffic.
 	s.a = dense.Ensure(s.a, hs.Rows, hs.Cols)
-	s.a.CopyFrom(hs)
 	s.b = dense.Ensure(s.b, ht.Rows, ht.Cols)
-	s.b.CopyFrom(ht)
-	s.a.CenterRows()
-	s.a.NormalizeRows()
-	s.b.CenterRows()
-	s.b.NormalizeRows()
+	dense.CenterNormalizeRowsInto(s.a, hs)
+	dense.CenterNormalizeRowsInto(s.b, ht)
 
 	ns, nt := hs.Rows, ht.Rows
 	out := &Candidates{

@@ -14,9 +14,13 @@ type Config struct {
 	CandidateK int     `json:"candidate_k"`
 	AnnBits    int     `json:"ann_bits"` // want `backend-conditional but never checked in ValidateSimilarity`
 	Loose      float64 `json:"loose"`    // want `referenced in neither withDefaults nor ValidateSimilarity`
-	Dead       int     `json:"dead"`     // want `dead knob`
-	Name       string  `json:"name"`
-	Hidden     int     `json:"-"` // want `excluded from JSON and so from cache identity`
+	// Precision models the unvalidated-precision regression: a bare
+	// numeric tier knob the pipeline reads but neither defaults nor
+	// validates, so out-of-range client input would reach the kernels.
+	Precision int    `json:"precision"` // want `referenced in neither withDefaults nor ValidateSimilarity`
+	Dead      int    `json:"dead"`      // want `dead knob`
+	Name      string `json:"name"`
+	Hidden    int    `json:"-"` // want `excluded from JSON and so from cache identity`
 	//lint:allow knobcover progress callbacks observe the run and never influence the result
 	Progress Observer `json:"-"`
 }
@@ -55,6 +59,7 @@ const errNegative = configError("candidate_k must be non-negative")
 func Align(c Config) float64 {
 	c = c.withDefaults()
 	v := c.Loose * float64(c.K)
+	v += float64(c.Precision)
 	if c.Name != "" {
 		v++
 	}

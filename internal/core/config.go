@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -179,6 +180,83 @@ func (s *SimBackend) UnmarshalText(text []byte) error {
 	return nil
 }
 
+// Precision selects the numeric width of the post-training compute
+// tier. Stage-3 training is always float64 — the Adam updates and their
+// bit-identity guarantees are untouched — but the fine-tuning stages
+// (similarity projection, candidate generation, ANN hashing and
+// re-rank) are memory-bandwidth-bound and can run on float32 values
+// with float64 accumulators, halving their traffic and footprint.
+type Precision int
+
+// The precision tiers.
+const (
+	// PrecisionAuto picks the tier from the pair size: float64 while the
+	// pair is small enough that bandwidth isn't the bottleneck, float32
+	// past the same cell threshold that switches SimAuto to the ANN
+	// backend (autoAnnCells). The dense backend always resolves to
+	// float64 — it has no reduced-precision tier.
+	PrecisionAuto Precision = iota
+	// PrecisionF64 forces full float64 throughout — bit-identical to the
+	// pipeline before the precision tier existed.
+	PrecisionF64
+	// PrecisionF32 forces the float32 tier for the top-k and ANN
+	// candidate backends. Scores keep float64 accumulators, so rankings
+	// are stable; Hits@1 moves by well under the run-to-run seed noise
+	// (property-tested at ±0.01 against f64).
+	PrecisionF32
+)
+
+// String names the tier as it appears in configs and results.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionAuto:
+		return "auto"
+	case PrecisionF64:
+		return "f64"
+	case PrecisionF32:
+		return "f32"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
+}
+
+// ParsePrecision resolves a tier name ("auto", "f64", "f32",
+// case-insensitive, empty = auto).
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return PrecisionAuto, nil
+	case "f64", "float64", "double":
+		return PrecisionF64, nil
+	case "f32", "float32", "single":
+		return PrecisionF32, nil
+	}
+	return PrecisionAuto, fmt.Errorf("core: unknown precision %q (want auto, f64 or f32)", s)
+}
+
+// Precisions lists every precision tier in definition order — the roster
+// the server's capabilities endpoint advertises.
+func Precisions() []Precision { return []Precision{PrecisionAuto, PrecisionF64, PrecisionF32} }
+
+// MarshalText encodes the tier by name, so JSON configs say "f32" rather
+// than an opaque enum number.
+func (p Precision) MarshalText() ([]byte, error) {
+	switch p {
+	case PrecisionAuto, PrecisionF64, PrecisionF32:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown precision %d", int(p))
+}
+
+// UnmarshalText decodes a tier name via ParsePrecision.
+func (p *Precision) UnmarshalText(text []byte) error {
+	parsed, err := ParsePrecision(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
 // Config holds the pipeline hyperparameters. The zero value is completed
 // by withDefaults to the paper's settings (§V-A), except that the default
 // embedding width is scaled to laptop-sized graphs.
@@ -250,6 +328,14 @@ type Config struct {
 	// default) leaves the pool bounded only by the probe budget. Like the
 	// other ann_* knobs it is rejected under other backends.
 	AnnPoolCap int `json:"ann_pool_cap,omitempty"`
+	// Precision selects the numeric width of the fine-tuning stages:
+	// PrecisionAuto (the default) stays float64 until the pair passes the
+	// ANN cell threshold, PrecisionF64 forces the full-width path
+	// (bit-identical to leaving the knob unset on small pairs), and
+	// PrecisionF32 runs candidate generation on the float32 tier —
+	// top-k and ANN backends only; a resolved dense backend rejects it
+	// (ErrBadPrecision) rather than silently ignoring it.
+	Precision Precision `json:"precision,omitempty"`
 	// Seed drives every random choice (weight init); equal seeds give
 	// bit-identical runs.
 	//lint:allow knobcover every int64 is a valid seed, so there is nothing to default or reject
@@ -410,6 +496,25 @@ func (c Config) ResolveAnn(ns, nt int) (bits, probes int) {
 	return bits, probes
 }
 
+// ResolvePrecision resolves the configured precision tier against a
+// concrete pair size. PrecisionAuto flips to float32 past the same cell
+// threshold that flips SimAuto to the ANN backend — the sizes where the
+// fine-tuning stages are bandwidth-bound — except under a resolved dense
+// backend, which has no float32 tier and always runs float64. The
+// returned tier is never PrecisionAuto.
+func (c Config) ResolvePrecision(ns, nt int) Precision {
+	if c.Precision != PrecisionAuto {
+		return c.Precision
+	}
+	if backend, _ := c.ResolveSimilarity(ns, nt); backend == SimDense {
+		return PrecisionF64
+	}
+	if int64(ns)*int64(nt) > autoAnnCells {
+		return PrecisionF32
+	}
+	return PrecisionF64
+}
+
 // ValidateSimilarity checks the similarity knobs for contradictions —
 // out-of-range values, and knobs that the resolved backend would
 // silently ignore (a config bug better rejected than swallowed). With a
@@ -430,6 +535,9 @@ func (c Config) ValidateSimilarity(ns, nt int) error {
 	if c.AnnPoolCap < 0 {
 		return fmt.Errorf("%w: ann_pool_cap = %d (want 0 for unbounded, or ≥ 1)", ErrBadAnnParam, c.AnnPoolCap)
 	}
+	if c.Precision < PrecisionAuto || c.Precision > PrecisionF32 {
+		return fmt.Errorf("%w: precision = %d (want auto, f64 or f32)", ErrBadPrecision, int(c.Precision))
+	}
 	backend := c.Similarity
 	if backend == SimAuto {
 		if ns == 0 && nt == 0 {
@@ -445,11 +553,21 @@ func (c Config) ValidateSimilarity(ns, nt int) error {
 	if backend != SimANN && (c.AnnBits > 0 || c.AnnProbes > 0 || c.AnnPoolCap > 0) {
 		return fmt.Errorf("%w: ann_bits/ann_probes/ann_pool_cap set but the resolved backend is %s, not ann", ErrIgnoredSimKnob, backend)
 	}
+	if backend == SimDense && c.Precision == PrecisionF32 {
+		return fmt.Errorf("%w: precision = f32 but the %s backend has no float32 tier (use topk or ann, or leave precision auto)", ErrBadPrecision, backend)
+	}
 	return nil
 }
 
 // StageTimings decomposes a run's wall-clock time into the stages of the
-// paper's Fig. 8.
+// paper's Fig. 8, alongside each stage's allocation traffic: the *Bytes
+// fields are deltas of runtime.MemStats.TotalAlloc taken at the same
+// boundaries as the durations. TotalAlloc is process-global and
+// monotonic, so a delta counts every byte allocated while the stage ran
+// — including concurrent stages of other jobs on a busy server — which
+// makes the numbers an observability signal, not an exact attribution.
+// On an otherwise-idle run (the CLIs, the benchmarks) they are the
+// stage's own allocations.
 type StageTimings struct {
 	OrbitCounting time.Duration
 	Laplacians    time.Duration
@@ -457,6 +575,13 @@ type StageTimings struct {
 	FineTuning    time.Duration
 	Integration   time.Duration
 	Total         time.Duration
+
+	OrbitCountingBytes uint64
+	LaplaciansBytes    uint64
+	TrainingBytes      uint64
+	FineTuningBytes    uint64
+	IntegrationBytes   uint64
+	TotalBytes         uint64
 }
 
 // Other returns the residual time not attributed to a named stage
@@ -469,11 +594,51 @@ func (s StageTimings) Other() time.Duration {
 	return o
 }
 
-// String renders the decomposition in milliseconds.
+// OtherBytes returns the allocation residual not attributed to a named
+// stage.
+func (s StageTimings) OtherBytes() uint64 {
+	named := s.OrbitCountingBytes + s.LaplaciansBytes + s.TrainingBytes + s.FineTuningBytes + s.IntegrationBytes
+	if named > s.TotalBytes {
+		return 0
+	}
+	return s.TotalBytes - named
+}
+
+// String renders the decomposition in milliseconds plus the per-stage
+// allocation deltas — the line the htc-align CLI prints after a run.
 func (s StageTimings) String() string {
-	return fmt.Sprintf("orbit=%v laplacian=%v train=%v finetune=%v integrate=%v other=%v total=%v",
+	return fmt.Sprintf("orbit=%v laplacian=%v train=%v finetune=%v integrate=%v other=%v total=%v"+
+		" alloc[orbit=%s laplacian=%s train=%s finetune=%s integrate=%s other=%s total=%s]",
 		s.OrbitCounting.Round(time.Millisecond), s.Laplacians.Round(time.Millisecond),
 		s.Training.Round(time.Millisecond), s.FineTuning.Round(time.Millisecond),
 		s.Integration.Round(time.Millisecond), s.Other().Round(time.Millisecond),
-		s.Total.Round(time.Millisecond))
+		s.Total.Round(time.Millisecond),
+		fmtBytes(s.OrbitCountingBytes), fmtBytes(s.LaplaciansBytes),
+		fmtBytes(s.TrainingBytes), fmtBytes(s.FineTuningBytes),
+		fmtBytes(s.IntegrationBytes), fmtBytes(s.OtherBytes()), fmtBytes(s.TotalBytes))
+}
+
+// allocBytes reads the process's cumulative allocation counter — the
+// probe behind the per-stage *Bytes deltas. ReadMemStats costs a short
+// stop-the-world; it runs a handful of times per align, at stage
+// boundaries only.
+func allocBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// fmtBytes renders a byte count with one decimal in the largest binary
+// unit that keeps the mantissa below 1024.
+func fmtBytes(b uint64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%dB", b)
+	}
+	div, exp := uint64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%cB", float64(b)/float64(div), "KMGTPE"[exp])
 }

@@ -39,6 +39,12 @@ var ErrBadAnnParam = errors.New("core: invalid ann parameter")
 // knob took effect.
 var ErrIgnoredSimKnob = errors.New("core: similarity knob ignored by the resolved backend")
 
+// ErrBadPrecision reports an invalid precision tier: an unknown enum
+// value, or the float32 tier under a resolved dense backend (which has
+// no reduced-precision path — the contradiction is rejected rather than
+// silently run in float64).
+var ErrBadPrecision = errors.New("core: invalid precision")
+
 // OrbitOutcome summarises one orbit's contribution to the final alignment.
 type OrbitOutcome struct {
 	// Orbit is the orbit index (or diffusion order for HTC-DT).
@@ -77,6 +83,10 @@ type Result struct {
 	// AnnPoolCap echoes the configured per-query pool bound of an ann run
 	// (0 when unbounded, and on dense and topk runs).
 	AnnPoolCap int
+	// Precision names the numeric tier the fine-tuning stages ran in
+	// ("f64" or "f32") — PrecisionAuto configs report their concrete
+	// choice, like SimBackend does.
+	Precision string
 	// Ann is the merged skew-observability block of an ann run's LSH
 	// indices — both directions of every orbit's fine-tuning loop,
 	// accumulated over all iterations. Nil on dense and topk runs.
@@ -239,6 +249,9 @@ func AlignContext(ctx context.Context, gs, gt *graph.Graph, cfg Config) (*Result
 	// into this run's decomposition so one-shot timings read as before.
 	res.Timings.OrbitCounting += p.prep.OrbitCounting
 	res.Timings.Laplacians += p.prep.Laplacians
+	res.Timings.OrbitCountingBytes += p.prep.OrbitCountingBytes
+	res.Timings.LaplaciansBytes += p.prep.LaplaciansBytes
+	res.Timings.TotalBytes += p.prep.OrbitCountingBytes + p.prep.LaplaciansBytes
 	res.Timings.Total = time.Since(start)
 	return res, nil
 }
@@ -260,6 +273,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
+	startAlloc := allocBytes()
 	obs := newEmitter(cfg.Progress)
 
 	if err := ctx.Err(); err != nil {
@@ -287,6 +301,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	// Stage 3: multi-orbit-aware training (Algorithm 1). Train fans the
 	// per-orbit forward/backward passes of each epoch across the budget.
 	t0 := time.Now()
+	a0 := allocBytes()
 	src := &nn.GraphData{Laps: setS.Laplacians, X: xs}
 	tgt := &nn.GraphData{Laps: setT.Laplacians, X: xt}
 	enc := newEncoder(cfg, xs.Cols)
@@ -299,6 +314,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	}
 	res.LossHistory = nn.Train(enc, src, tgt, trainCfg)
 	res.Timings.Training = time.Since(t0)
+	res.Timings.TrainingBytes = allocBytes() - a0
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -310,6 +326,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	// over (fewer orbits than workers) parallelises each orbit's kernels
 	// instead.
 	t0 = time.Now()
+	a0 = allocBytes()
 	k := setS.K()
 	sims := make([]align.Sim, k)
 	trusted := make([]int, k)
@@ -326,6 +343,10 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 		res.AnnPoolCap = cfg.AnnPoolCap
 		annParams = ann.Params{Bits: bits, Probes: probes, PoolCap: cfg.AnnPoolCap, Seed: cfg.Seed}
 	}
+	// Resolve the precision tier the same way (PrecisionAuto picks here)
+	// and record the concrete choice.
+	prec := cfg.ResolvePrecision(p.gs.N(), p.gt.N())
+	res.Precision = prec.String()
 	// Each in-flight fine-tune holds its similarity working set — a few
 	// ns×nt buffers on the dense backend, O((ns+nt)·k) candidate
 	// structures on top-k — so on huge pairs the fan-out is additionally
@@ -337,7 +358,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 		slots = k
 	}
 	outer, inner := par.SplitOuterInner(workers, slots)
-	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Workers: inner, TopK: candidateK, Ann: annParams, KeepEmbeddings: cfg.KeepEmbeddings, Ctx: ctx}
+	ftCfg := align.FineTuneConfig{M: cfg.M, Beta: cfg.Beta, MaxIters: cfg.MaxFineTuneIters, KnownPairs: cfg.Seeds, Workers: inner, TopK: candidateK, Ann: annParams, F32: prec == PrecisionF32, KeepEmbeddings: cfg.KeepEmbeddings, Ctx: ctx}
 	if !cfg.Variant.usesFineTune() {
 		ftCfg.MaxIters = 1 // single pass: score + trusted count, no reinforcement rounds
 		ftCfg.KnownPairs = nil
@@ -381,6 +402,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 		res.Ann = annStatsFrom(annTotals)
 	}
 	res.Timings.FineTuning = time.Since(t0)
+	res.Timings.FineTuningBytes = allocBytes() - a0
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -389,6 +411,7 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	// — a weighted matrix sum on dense, a per-row candidate merge on
 	// top-k.
 	t0 = time.Now()
+	a0 = allocBytes()
 	sim, gammas := align.IntegrateSims(sims, trusted)
 	for i := range res.PerOrbit {
 		res.PerOrbit[i].Gamma = gammas[i]
@@ -398,9 +421,11 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 		res.M = d.M
 	}
 	res.Timings.Integration = time.Since(t0)
+	res.Timings.IntegrationBytes = allocBytes() - a0
 	obs.emit(Progress{Stage: StageIntegrate, Done: 1, Total: 1, Orbit: -1})
 
 	res.Timings.Total = time.Since(start)
+	res.Timings.TotalBytes = allocBytes() - startAlloc
 	return res, nil
 }
 

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/htc-align/htc/internal/metrics"
+)
+
+// TestParsePrecision covers the accepted spellings and the round trip
+// through the textual JSON form.
+func TestParsePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Precision
+	}{
+		{"", PrecisionAuto}, {"auto", PrecisionAuto}, {"AUTO", PrecisionAuto},
+		{"f64", PrecisionF64}, {"float64", PrecisionF64}, {"double", PrecisionF64},
+		{"f32", PrecisionF32}, {"Float32", PrecisionF32}, {"single", PrecisionF32},
+	} {
+		got, err := ParsePrecision(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePrecision("f16"); err == nil {
+		t.Error("ParsePrecision accepted f16")
+	}
+	var p Precision
+	if err := json.Unmarshal([]byte(`"f32"`), &p); err != nil || p != PrecisionF32 {
+		t.Errorf("json round trip: %v, %v", p, err)
+	}
+	b, err := json.Marshal(PrecisionF64)
+	if err != nil || string(b) != `"f64"` {
+		t.Errorf("marshal: %s, %v", b, err)
+	}
+}
+
+// TestResolvePrecision pins the tier choice: explicit settings win, auto
+// follows the backend — float64 wherever the dense backend runs, float32
+// only past the cell threshold that also selects ANN.
+func TestResolvePrecision(t *testing.T) {
+	big := 40000 // 40000² > autoAnnCells
+	for _, tc := range []struct {
+		name   string
+		cfg    Config
+		ns, nt int
+		want   Precision
+	}{
+		{"auto small pair", Config{}, 100, 100, PrecisionF64},
+		{"auto huge pair", Config{}, big, big, PrecisionF32},
+		{"auto huge but forced dense", Config{Similarity: SimDense}, big, big, PrecisionF64},
+		{"auto topk small", Config{Similarity: SimTopK}, 100, 100, PrecisionF64},
+		{"auto ann huge", Config{Similarity: SimANN}, big, big, PrecisionF32},
+		{"explicit f64 huge", Config{Precision: PrecisionF64}, big, big, PrecisionF64},
+		{"explicit f32 small topk", Config{Similarity: SimTopK, Precision: PrecisionF32}, 100, 100, PrecisionF32},
+	} {
+		if got := tc.cfg.ResolvePrecision(tc.ns, tc.nt); got != tc.want {
+			t.Errorf("%s: ResolvePrecision = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestValidatePrecision pins the admission rules of the precision knob.
+func TestValidatePrecision(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		ns, nt  int
+		wantErr error
+	}{
+		{"auto ok", Config{}, 100, 100, nil},
+		{"f64 ok everywhere", Config{Precision: PrecisionF64}, 100, 100, nil},
+		{"f32 with topk", Config{Similarity: SimTopK, Precision: PrecisionF32}, 100, 100, nil},
+		{"f32 with ann", Config{Similarity: SimANN, Precision: PrecisionF32}, 100, 100, nil},
+		{"out-of-range value", Config{Precision: Precision(9)}, 100, 100, ErrBadPrecision},
+		{"negative value", Config{Precision: Precision(-1)}, 100, 100, ErrBadPrecision},
+		{"f32 under forced dense", Config{Similarity: SimDense, Precision: PrecisionF32}, 100, 100, ErrBadPrecision},
+		{"f32 under forced dense sizeless", Config{Similarity: SimDense, Precision: PrecisionF32}, 0, 0, ErrBadPrecision},
+		{"f32 under auto-resolved dense", Config{Precision: PrecisionF32}, 100, 100, ErrBadPrecision},
+		{"auto sizeless tolerates f32", Config{Precision: PrecisionF32}, 0, 0, nil},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.ValidateSimilarity(tc.ns, tc.nt)
+		if tc.wantErr == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestAlignPrecisionDefaultBitIdentity: leaving the knob unset and
+// forcing f64 are the same run, bit for bit — the default path must be
+// untouched by the precision tier's existence.
+func TestAlignPrecisionDefaultBitIdentity(t *testing.T) {
+	gs, gt, _ := noisyPair(40, 0.1, 3)
+	cfg := quickConfig(Full)
+	cfg.Similarity = SimTopK
+	cfg.CandidateK = 10
+	unset, err := Align(gs, gt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := cfg
+	forced.Precision = PrecisionF64
+	f64, err := Align(gs, gt, forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unset.Precision != "f64" || f64.Precision != "f64" {
+		t.Fatalf("reported precisions %q / %q, want f64", unset.Precision, f64.Precision)
+	}
+	if !reflect.DeepEqual(unset.PerOrbit, f64.PerOrbit) {
+		t.Fatal("per-orbit outcomes differ between unset and explicit f64")
+	}
+	us, fs := unset.Sim.(interface {
+		At(int, int) (float64, bool)
+	}), f64.Sim
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			a, aok := us.At(i, j)
+			b, bok := fs.At(i, j)
+			if a != b || aok != bok {
+				t.Fatalf("score (%d,%d) differs: %v (ok=%v) vs %v (ok=%v)", i, j, a, aok, b, bok)
+			}
+		}
+	}
+}
+
+// TestAlignPrecisionParity is the cross-tier accuracy property: across
+// sizes and seeds, the f32 run's Hits@1 and MRR stay within ±0.01 of the
+// f64 run on both candidate backends.
+func TestAlignPrecisionParity(t *testing.T) {
+	for _, n := range []int{40, 80} {
+		for seed := int64(1); seed <= 3; seed++ {
+			gs, gt, truth := noisyPair(n, 0.05, seed)
+			for _, backend := range []SimBackend{SimTopK, SimANN} {
+				cfg := quickConfig(Full)
+				cfg.Similarity = backend
+				cfg.CandidateK = 10
+				if backend == SimANN {
+					cfg.AnnBits = 4
+					cfg.AnnProbes = 1 << 4
+				}
+				f64Res, err := Align(gs, gt, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f32Cfg := cfg
+				f32Cfg.Precision = PrecisionF32
+				f32Res, err := Align(gs, gt, f32Cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f64Res.Precision != "f64" || f32Res.Precision != "f32" {
+					t.Fatalf("reported precisions %q / %q", f64Res.Precision, f32Res.Precision)
+				}
+				a := metrics.EvaluateSim(f64Res.Sim, truth, 1)
+				b := metrics.EvaluateSim(f32Res.Sim, truth, 1)
+				if d := math.Abs(a.PrecisionAt[1] - b.PrecisionAt[1]); d > 0.01 {
+					t.Errorf("n=%d seed=%d %v: Hits@1 gap %.4f > 0.01 (f64 %.4f, f32 %.4f)",
+						n, seed, backend, d, a.PrecisionAt[1], b.PrecisionAt[1])
+				}
+				if d := math.Abs(a.MRR - b.MRR); d > 0.01 {
+					t.Errorf("n=%d seed=%d %v: MRR gap %.4f > 0.01 (f64 %.4f, f32 %.4f)",
+						n, seed, backend, d, a.MRR, b.MRR)
+				}
+			}
+		}
+	}
+}
+
+// TestAlignRejectsF32Dense: the contradiction surfaces from Align itself.
+func TestAlignRejectsF32Dense(t *testing.T) {
+	gs, gt, _ := noisyPair(12, 0, 1)
+	cfg := quickConfig(LowOrder)
+	cfg.Similarity = SimDense
+	cfg.Precision = PrecisionF32
+	if _, err := Align(gs, gt, cfg); !errors.Is(err, ErrBadPrecision) {
+		t.Fatalf("dense+f32: err = %v, want ErrBadPrecision", err)
+	}
+	// Auto backend on a small pair resolves dense, so f32 is equally
+	// contradictory once the sizes are known.
+	cfg = quickConfig(LowOrder)
+	cfg.Precision = PrecisionF32
+	if _, err := Align(gs, gt, cfg); !errors.Is(err, ErrBadPrecision) {
+		t.Fatalf("auto-dense+f32: err = %v, want ErrBadPrecision", err)
+	}
+}
+
+// TestStageTimingsBytes: the per-stage allocation deltas are recorded and
+// surface in the timings line.
+func TestStageTimingsBytes(t *testing.T) {
+	gs, gt, _ := noisyPair(30, 0.1, 2)
+	res, err := Align(gs, gt, quickConfig(Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings
+	if tm.TotalBytes == 0 {
+		t.Fatal("TotalBytes not recorded")
+	}
+	if tm.TrainingBytes == 0 || tm.FineTuningBytes == 0 {
+		t.Fatalf("stage bytes missing: train=%d finetune=%d", tm.TrainingBytes, tm.FineTuningBytes)
+	}
+	sum := tm.OrbitCountingBytes + tm.LaplaciansBytes + tm.TrainingBytes +
+		tm.FineTuningBytes + tm.IntegrationBytes
+	if sum > tm.TotalBytes {
+		t.Fatalf("stage bytes %d exceed total %d", sum, tm.TotalBytes)
+	}
+	s := tm.String()
+	for _, sub := range []string{"alloc[", "train=", "total="} {
+		if !strings.Contains(s, sub) {
+			t.Fatalf("timings string missing %q: %q", sub, s)
+		}
+	}
+}

@@ -309,6 +309,7 @@ func (p *Prepared) resolveCounts(ctx context.Context, workers int, timings *Stag
 
 	obs.emit(Progress{Stage: StageOrbitCounts, Done: 0, Total: 2, Orbit: -1})
 	t0 := time.Now()
+	a0 := allocBytes()
 	c := &orbitCounts{}
 	if workers >= 2 {
 		ws, wt := par.Split2(workers, len(p.gs.Edges()), len(p.gt.Edges()))
@@ -320,6 +321,7 @@ func (p *Prepared) resolveCounts(ctx context.Context, workers int, timings *Stag
 		c.t = orbit.CountN(p.gt, 1)
 	}
 	timings.OrbitCounting = time.Since(t0)
+	timings.OrbitCountingBytes = allocBytes() - a0
 	p.mu.Lock()
 	e.c = c
 	p.countRuns++
@@ -348,6 +350,7 @@ func (p *Prepared) buildSets(ctx context.Context, key aggKey, workers int, timin
 	// one independent build per graph.
 	obs.emit(Progress{Stage: StageLaplacians, Done: 0, Total: 2, Orbit: -1})
 	t0 := time.Now()
+	a0 := allocBytes()
 	sp := &setPair{}
 	buildPair := func(buildS, buildT func() *gom.Set) {
 		if workers >= 2 {
@@ -376,6 +379,7 @@ func (p *Prepared) buildSets(ctx context.Context, key aggKey, workers int, timin
 			func() *gom.Set { return gom.LowOrder(p.gt) })
 	}
 	timings.Laplacians = time.Since(t0)
+	timings.LaplaciansBytes = allocBytes() - a0
 	obs.emit(Progress{Stage: StageLaplacians, Done: 2, Total: 2, Orbit: -1})
 	return sp, nil
 }

@@ -308,14 +308,22 @@ type EvalReport struct {
 }
 
 // StageMS decomposes a run's wall-clock cost in milliseconds, the JSON
-// face of core.StageTimings.
+// face of core.StageTimings. The *_bytes fields mirror the per-stage
+// heap-allocation deltas (process-global TotalAlloc sampled at the stage
+// boundaries — an observability signal, not exact attribution).
 type StageMS struct {
-	OrbitCounting float64 `json:"orbit_counting"`
-	Laplacians    float64 `json:"laplacians"`
-	Training      float64 `json:"training"`
-	FineTuning    float64 `json:"fine_tuning"`
-	Integration   float64 `json:"integration"`
-	Total         float64 `json:"total"`
+	OrbitCounting      float64 `json:"orbit_counting"`
+	Laplacians         float64 `json:"laplacians"`
+	Training           float64 `json:"training"`
+	FineTuning         float64 `json:"fine_tuning"`
+	Integration        float64 `json:"integration"`
+	Total              float64 `json:"total"`
+	OrbitCountingBytes uint64  `json:"orbit_counting_bytes"`
+	LaplaciansBytes    uint64  `json:"laplacians_bytes"`
+	TrainingBytes      uint64  `json:"training_bytes"`
+	FineTuningBytes    uint64  `json:"fine_tuning_bytes"`
+	IntegrationBytes   uint64  `json:"integration_bytes"`
+	TotalBytes         uint64  `json:"total_bytes"`
 }
 
 func stageMS(t core.StageTimings) StageMS {
@@ -324,6 +332,9 @@ func stageMS(t core.StageTimings) StageMS {
 		OrbitCounting: ms(t.OrbitCounting), Laplacians: ms(t.Laplacians),
 		Training: ms(t.Training), FineTuning: ms(t.FineTuning),
 		Integration: ms(t.Integration), Total: ms(t.Total),
+		OrbitCountingBytes: t.OrbitCountingBytes, LaplaciansBytes: t.LaplaciansBytes,
+		TrainingBytes: t.TrainingBytes, FineTuningBytes: t.FineTuningBytes,
+		IntegrationBytes: t.IntegrationBytes, TotalBytes: t.TotalBytes,
 	}
 }
 
@@ -351,6 +362,9 @@ type AlignResult struct {
 	// SimBackend is the similarity backend the run resolved to ("dense",
 	// "topk" or "ann") — auto configs report their concrete choice.
 	SimBackend string `json:"sim_backend"`
+	// Precision is the compute tier the fine-tune similarity ran at
+	// ("f64" or "f32") — auto configs report their concrete choice.
+	Precision string `json:"precision"`
 	// CandidateK is the per-node candidate count of a top-k or ann run
 	// (absent on dense runs).
 	CandidateK int `json:"candidate_k,omitempty"`
@@ -413,6 +427,8 @@ type Capabilities struct {
 	// SimilarityBackends lists the accepted config.similarity values and
 	// the knobs each backend accepts.
 	SimilarityBackends []SimBackendInfo `json:"similarity_backends"`
+	// Precisions lists the accepted config.precision values.
+	Precisions []string `json:"precisions"`
 	// IngestFormats lists the registered dataset upload formats.
 	IngestFormats []string `json:"ingest_formats"`
 	// Variants lists the pipeline ablations by paper name.

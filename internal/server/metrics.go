@@ -54,6 +54,11 @@ type Metrics struct {
 	// refit win.
 	SimAnnPoolRows   atomic.Int64
 	SimAnnRefitReuse atomic.Int64
+	// SimF32Runs counts completed pipeline runs whose fine-tune similarity
+	// ran on the float32 compute tier (explicit precision=f32 and auto
+	// configs that resolved there alike), so operators can see how much
+	// traffic actually exercises the half-width path.
+	SimF32Runs atomic.Int64
 }
 
 // recordBackend tallies one completed pipeline run under its resolved
@@ -73,6 +78,9 @@ func (m *Metrics) recordBackend(res *core.Result) {
 		m.SimTopKRuns.Add(1)
 	default:
 		m.SimDenseRuns.Add(1)
+	}
+	if res.Precision == "f32" {
+		m.SimF32Runs.Add(1)
 	}
 }
 
@@ -101,6 +109,7 @@ func (m *Metrics) writePrometheus(w io.Writer, extras map[string]float64) {
 	counter("htc_sim_ann_exact_runs_total", "ANN runs whose probe budget covered every bucket (exactness escape hatch).", m.SimAnnExactRuns.Load())
 	counter("htc_sim_ann_pool_rows", "Candidate rows gathered for exact re-ranking across ANN runs.", m.SimAnnPoolRows.Load())
 	counter("htc_sim_ann_refit_reuse_total", "Rows whose hash codes were reused across fine-tune refits in ANN runs.", m.SimAnnRefitReuse.Load())
+	counter("htc_sim_f32_runs_total", "Pipeline runs whose fine-tune similarity ran on the float32 tier.", m.SimF32Runs.Load())
 	fmt.Fprintf(w, "# HELP htc_jobs_running Jobs currently holding a worker.\n# TYPE htc_jobs_running gauge\nhtc_jobs_running %d\n", m.JobsRunning.Load())
 	names := make([]string, 0, len(extras))
 	for name := range extras {

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// f32Body is topkBody on the float32 compute tier.
+func f32Body(dataSeed int64, k int) string {
+	return fmt.Sprintf(`{"dataset":"synthetic","n":60,"data_seed":%d,
+		"config":{"variant":"HTC-L","epochs":3,"hidden":8,"embed":4,"m":5,
+		"similarity":"topk","candidate_k":%d,"precision":"f32"}}`, dataSeed, k)
+}
+
+// TestAlignF32Job: an f32 job reports its tier in the result, returns
+// pairs, and is tallied by the f32 Prometheus counter.
+func TestAlignF32Job(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	code, info := submit(t, ts, f32Body(41, 10))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	info = waitFor(t, ts, info.ID, StatusDone)
+	res := info.Result
+	if res == nil {
+		t.Fatal("no result payload")
+	}
+	if res.SimBackend != "topk" || res.Precision != "f32" {
+		t.Fatalf("sim_backend=%q precision=%q, want topk/f32", res.SimBackend, res.Precision)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no matched pairs")
+	}
+	if res.TimingsMS.TotalBytes == 0 {
+		t.Fatal("timings carry no allocation decomposition")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(blob), "htc_sim_f32_runs_total 1") {
+		t.Fatalf("metrics missing htc_sim_f32_runs_total 1:\n%s", blob)
+	}
+}
+
+// TestPrecisionCacheKeySeparation: the same request at f64 and f32 must
+// occupy distinct result-cache entries — the scores genuinely differ.
+func TestPrecisionCacheKeySeparation(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	_, f64 := submit(t, ts, topkBody(42, 10))
+	waitFor(t, ts, f64.ID, StatusDone)
+	code, f32 := submit(t, ts, f32Body(42, 10))
+	if code != http.StatusAccepted {
+		t.Fatalf("f32 submission served from the f64 cache entry (code %d)", code)
+	}
+	info := waitFor(t, ts, f32.ID, StatusDone)
+	if info.Result.Cached || info.Result.Precision != "f32" {
+		t.Fatalf("f32 run: cached=%v precision=%q", info.Result.Cached, info.Result.Precision)
+	}
+
+	code, again := submit(t, ts, f32Body(42, 10))
+	if code != http.StatusOK || again.Result == nil || !again.Result.Cached {
+		t.Fatalf("identical f32 resubmission not served from cache (code %d)", code)
+	}
+	if again.Result.Precision != "f32" {
+		t.Fatalf("cached result lost its precision: %+v", again.Result)
+	}
+}
+
+// TestRejectBadPrecision: contradictory or unknown precision settings are
+// a 400 at admission.
+func TestRejectBadPrecision(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	for _, tc := range []struct{ name, config string }{
+		{"f32 under dense", `{"similarity":"dense","precision":"f32"}`},
+		{"unknown tier", `{"precision":"f16"}`},
+	} {
+		body := fmt.Sprintf(`{"dataset":"synthetic","n":60,"config":%s}`, tc.config)
+		resp, err := http.Post(ts.URL+"/v1/align", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d (%s), want 400", tc.name, resp.StatusCode, blob)
+		}
+		var envelope ErrorBody
+		if err := json.Unmarshal(blob, &envelope); err != nil || envelope.Error.Code != "bad_request" {
+			t.Fatalf("%s: not the error envelope: %v\n%s", tc.name, err, blob)
+		}
+	}
+}
+
+// TestCapabilitiesPrecisions: the tier roster is advertised.
+func TestCapabilitiesPrecisions(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/capabilities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var caps Capabilities
+	if err := json.NewDecoder(resp.Body).Decode(&caps); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"auto", "f64", "f32"}
+	if len(caps.Precisions) != len(want) {
+		t.Fatalf("precisions = %v, want %v", caps.Precisions, want)
+	}
+	for i, p := range want {
+		if caps.Precisions[i] != p {
+			t.Fatalf("precisions = %v, want %v", caps.Precisions, want)
+		}
+	}
+}

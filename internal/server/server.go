@@ -188,8 +188,12 @@ func (s *Server) runJob(ctx context.Context, job *Job) (any, error) {
 	if !prepHit {
 		// This job paid the eager artifact build inside Prepare; fold it
 		// into the run's stage decomposition like the one-shot API does.
-		res.Timings.OrbitCounting += prep.PrepareTimings().OrbitCounting
-		res.Timings.Laplacians += prep.PrepareTimings().Laplacians
+		pt := prep.PrepareTimings()
+		res.Timings.OrbitCounting += pt.OrbitCounting
+		res.Timings.Laplacians += pt.Laplacians
+		res.Timings.OrbitCountingBytes += pt.OrbitCountingBytes
+		res.Timings.LaplaciansBytes += pt.LaplaciansBytes
+		res.Timings.TotalBytes += pt.OrbitCountingBytes + pt.LaplaciansBytes
 	}
 	out := buildResult(res, pair, job.Req.cutoffs())
 	out.PreparedCached = prepHit
@@ -278,8 +282,12 @@ func (s *Server) runSweep(ctx context.Context, job *Job, pair *datasets.Pair) (*
 		}
 		s.metrics.recordBackend(res)
 		if foldPrep {
-			res.Timings.OrbitCounting += prep.PrepareTimings().OrbitCounting
-			res.Timings.Laplacians += prep.PrepareTimings().Laplacians
+			pt := prep.PrepareTimings()
+			res.Timings.OrbitCounting += pt.OrbitCounting
+			res.Timings.Laplacians += pt.Laplacians
+			res.Timings.OrbitCountingBytes += pt.OrbitCountingBytes
+			res.Timings.LaplaciansBytes += pt.LaplaciansBytes
+			res.Timings.TotalBytes += pt.OrbitCountingBytes + pt.LaplaciansBytes
 			foldPrep = false
 		}
 		out := buildResult(res, pair, job.Req.cutoffs())
@@ -335,6 +343,7 @@ func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 		EpochsTrained: len(res.LossHistory),
 		WorkersUsed:   res.Workers,
 		SimBackend:    res.SimBackend,
+		Precision:     res.Precision,
 		CandidateK:    res.CandidateK,
 		AnnBits:       res.AnnBits,
 		AnnProbes:     res.AnnProbes,
@@ -601,8 +610,13 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	for _, v := range core.Variants() {
 		variants = append(variants, v.String())
 	}
+	precisions := make([]string, 0, len(core.Precisions()))
+	for _, p := range core.Precisions() {
+		precisions = append(precisions, p.String())
+	}
 	writeJSON(w, http.StatusOK, Capabilities{
 		SimilarityBackends: backends,
+		Precisions:         precisions,
 		IngestFormats:      ingest.Formats(),
 		Variants:           variants,
 		Datasets:           Datasets(),
