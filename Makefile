@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FUZZ_TARGETS = FuzzEdgeList FuzzAdjList FuzzJSON FuzzHTCGraph FuzzSniff FuzzTruth
 
-.PHONY: build test test-ann lint bench bench-snapshot bench-io bench-gate fuzz ci
+.PHONY: build test test-ann test-refine lint bench bench-snapshot bench-io bench-gate fuzz ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ test:
 # index changes get a fast, targeted gate).
 test-ann:
 	$(GO) test -race -count=1 ./internal/ann/...
+
+# The RefiNA refinement stage shares per-worker scratch across
+# goroutines and must stay worker-count independent; run its suite
+# explicitly under the race detector, uncached, so refinement changes
+# get the same targeted gate the ANN index has.
+test-refine:
+	$(GO) test -race -count=1 ./internal/refine/...
 
 # Static analysis at full strength: gofmt, the whole stock vet suite
 # plus an explicit, addressable copylocks pass, a tidy-module check, and
@@ -49,9 +56,10 @@ bench-snapshot:
 # Refresh the end-to-end pipeline baseline (BenchmarkAlign per variant,
 # workers=1 vs workers=max, the staged-API prepare-reuse sweep, the
 # large-pair top-k memory benchmark, the 100k-node ingested-graph ANN
-# scale proof, and the skew-adversarial ANN pool benchmark).
+# scale proof, the skew-adversarial ANN pool benchmark, and the RefiNA
+# refinement stage — dense 1k and candidate-list 100k series).
 bench-pipeline:
-	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$|BenchmarkAnnSkewAdversarial$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$|BenchmarkAnnSkewAdversarial$$|BenchmarkRefine$$'
 
 # Refresh the ingestion baseline: the 1M-edge edge-list parse and the
 # 100k-anchor ID-keyed truth resolution.
@@ -63,7 +71,7 @@ bench-io:
 # allocated-bytes, >1.5x allocation-count or >1.5x ANN pool-rows
 # regression.
 bench-gate:
-	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$|BenchmarkAnnSkewAdversarial$$'
+	./scripts/bench_snapshot.sh BENCH_pipeline.ci.json ./internal/core/ 'BenchmarkAlign$$|BenchmarkPrepareReuse$$|BenchmarkAlignTopKLarge$$|BenchmarkAlignAnnIngested100K$$|BenchmarkAnnSkewAdversarial$$|BenchmarkRefine$$'
 	./scripts/bench_check.sh BENCH_pipeline.json BENCH_pipeline.ci.json 2.0 1.5
 	./scripts/bench_snapshot.sh BENCH_io.ci.json ./internal/ingest/ 'BenchmarkEdgeList1M$$|BenchmarkTruth100K$$'
 	./scripts/bench_check.sh BENCH_io.json BENCH_io.ci.json 2.0 1.5
@@ -76,4 +84,4 @@ fuzz:
 		$(GO) test ./internal/ingest/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
-ci: lint build test test-ann fuzz bench bench-gate
+ci: lint build test test-ann test-refine fuzz bench bench-gate

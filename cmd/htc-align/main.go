@@ -9,6 +9,7 @@
 //	          [-truth truth.txt] [-top 1] [-progress]
 //	          [-sim auto|dense|topk|ann] [-topk K] [-ann-bits B] [-ann-probes P]
 //	          [-ann-pool-cap C] [-precision auto|f64|f32]
+//	          [-refine-iters N] [-refine-token-k K]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -format selects the input reader; the default sniffs each file by
@@ -42,6 +43,12 @@
 // half-width tier of the candidate backends — roughly halves similarity
 // memory traffic) or auto (the default — f32 past the same size
 // threshold that selects the ANN backend). Training always runs f64.
+//
+// -refine-iters runs that many RefiNA refinement iterations over the
+// integrated similarity (0, the default, skips the stage); -refine-token-k
+// bounds the per-row token-match budget (0 = automatic). Refined runs
+// print a "# refine:" line with the MNC trajectory and, with -truth, both
+// the refined and the unrefined evaluation.
 //
 // -cpuprofile and -memprofile write pprof CPU and heap profiles of the
 // run; the "# timings:" line additionally breaks down per-stage heap
@@ -81,6 +88,8 @@ func main() {
 	annProbes := flag.Int("ann-probes", 0, "ANN buckets probed per query (0 = automatic; implies -sim ann when set)")
 	annPoolCap := flag.Int("ann-pool-cap", 0, "ANN per-query re-rank pool bound (0 = unbounded; implies -sim ann when set)")
 	precision := flag.String("precision", "auto", "fine-tune compute tier: auto, f64 or f32")
+	refineIters := flag.Int("refine-iters", 0, "RefiNA refinement iterations after integration (0 = no refinement)")
+	refineTokenK := flag.Int("refine-token-k", 0, "token-match budget per row during refinement (0 = automatic; needs -refine-iters)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -148,7 +157,7 @@ func main() {
 		variants = append(variants, v)
 	}
 
-	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap, Precision: prec}
+	base := htc.Config{K: *k, Epochs: *epochs, Seed: *seed, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap, Precision: prec, RefineIters: *refineIters, RefineTokenK: *refineTokenK}
 	if *progress {
 		base.Progress = progressLogger()
 	}
@@ -191,6 +200,10 @@ func main() {
 			fmt.Printf("# ann: buckets=%d maxbucket=%d rehashed=%d pool-mean=%.1f pool-max=%d refit-reuse=%.2f\n",
 				st.Buckets, st.MaxBucket, st.RehashedBuckets, st.PoolRowsMean, st.PoolRowsMax, st.RefitReuseRatio)
 		}
+		if res.PreRefineSim != nil {
+			fmt.Printf("# refine: iters=%d token-k=%d mnc %.4f -> %.4f\n",
+				len(res.RefineMNC)-1, res.RefineTokenK, res.RefineMNC[0], res.RefineMNC[len(res.RefineMNC)-1])
+		}
 
 		if *top <= 1 {
 			for _, p := range res.PredictNames(pair.SourceIDs, pair.TargetIDs) {
@@ -215,6 +228,10 @@ func main() {
 		if truth != nil {
 			rep := htc.EvaluateSim(res.Sim, truth, 1, 10)
 			fmt.Printf("# evaluation: %v\n", rep)
+			if res.PreRefineSim != nil {
+				pre := htc.EvaluateSim(res.PreRefineSim, truth, 1, 10)
+				fmt.Printf("# evaluation (unrefined): %v\n", pre)
+			}
 		}
 	}
 }

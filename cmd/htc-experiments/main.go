@@ -7,6 +7,7 @@
 //	                [-scale 1.0] [-seed 1] [-epochs 0] [-progress]
 //	                [-sim auto|dense|topk|ann] [-topk K] [-ann-bits B] [-ann-probes P]
 //	                [-ann-pool-cap C] [-precision auto|f64|f32]
+//	                [-refine-iters N] [-refine-token-k K]
 //	htc-experiments -source s.edges -target t.edges [-truth pairs.tsv]
 //	                [-format auto|htc-graph|edgelist|json|adjlist] ...
 //
@@ -21,7 +22,10 @@
 // select and tune the HTC similarity backend (baselines are unaffected),
 // so the top-k and ANN approximations can be measured against the paper
 // numbers; -precision selects the fine-tune compute tier the same way
-// (f32 requires a candidate backend). Output is
+// (f32 requires a candidate backend). -refine-iters appends the RefiNA
+// refinement stage to every HTC run and adds a "p@1 raw" (unrefined)
+// column to the variant tables, so the refinement lift is measurable per
+// variant; -refine-token-k tunes its token budget. Output is
 // plain text, one section per artefact; EXPERIMENTS.md records a
 // reference run.
 //
@@ -57,6 +61,8 @@ func main() {
 	annProbes := flag.Int("ann-probes", 0, "ANN buckets probed per query (0 = automatic; implies -sim ann when set)")
 	annPoolCap := flag.Int("ann-pool-cap", 0, "ANN per-query re-rank pool bound (0 = unbounded; implies -sim ann when set)")
 	precision := flag.String("precision", "auto", "HTC fine-tune compute tier: auto, f64 or f32")
+	refineIters := flag.Int("refine-iters", 0, "RefiNA refinement iterations after every HTC integration (0 = no refinement)")
+	refineTokenK := flag.Int("refine-token-k", 0, "refinement token-match budget per row (0 = automatic; needs -refine-iters)")
 	sourcePath := flag.String("source", "", "custom run: source graph file (any registered format)")
 	targetPath := flag.String("target", "", "custom run: target graph file")
 	format := flag.String("format", "", "custom run: input format (default: sniff by content)")
@@ -81,7 +87,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap, Precision: prec}
+	o := experiments.Options{Scale: *scale, Seed: *seed, Epochs: *epochs, Similarity: backend, CandidateK: *topk, AnnBits: *annBits, AnnProbes: *annProbes, AnnPoolCap: *annPoolCap, Precision: prec, RefineIters: *refineIters, RefineTokenK: *refineTokenK}
 	if *progress {
 		o.Progress = stageLogger()
 	}

@@ -37,6 +37,7 @@ import (
 	"github.com/htc-align/htc/internal/ingest"
 	"github.com/htc-align/htc/internal/metrics"
 	"github.com/htc-align/htc/internal/orbit"
+	"github.com/htc-align/htc/internal/refine"
 )
 
 // Graph is an immutable undirected attributed network.
@@ -321,6 +322,7 @@ const (
 	StageTrain       = core.StageTrain
 	StageFineTune    = core.StageFineTune
 	StageIntegrate   = core.StageIntegrate
+	StageRefine      = core.StageRefine
 )
 
 // Prepare validates a graph pair and builds the stage-1/2 artifacts the
@@ -455,6 +457,39 @@ func SampleSeeds(truth Truth, frac float64, seed int64) []Anchor {
 // GreedyMatch extracts an injective assignment from an alignment matrix
 // by repeatedly taking the best unmatched pair (1/2-approximation).
 func GreedyMatch(m *Matrix) []int { return align.GreedyMatch(m) }
+
+// RefineOptions configures an explicit RefiNA refinement run — the
+// library face of the pipeline's Config.RefineIters stage, for refining
+// similarities (or matchings, via MatchingSim) produced elsewhere.
+type RefineOptions = refine.Options
+
+// Refined is the outcome of a Refine call: the refined similarity, the
+// per-iteration matched-neighborhood-consistency trajectory and the
+// resolved token budget.
+type Refined = refine.Result
+
+// Refine runs RefiNA iterative refinement over any similarity
+// representation: dense inputs update the full matrix, sparse top-k
+// inputs refine candidate lists in O(n·k·deg) without materialising n×n.
+// Iters = 0 returns the input unchanged.
+func Refine(s Sim, gs, gt *Graph, opts RefineOptions) (*Refined, error) {
+	return refine.Refine(s, gs, gt, opts)
+}
+
+// MatchingSim lifts a one-to-one matching (match[i] = target of source
+// node i, -1 = unmatched) into a sparse similarity whose rows may grow
+// to k candidates during refinement — the bridge from an externally
+// computed matching to Refine.
+func MatchingSim(match []int, cols, k int) (*TopKSim, error) {
+	return refine.FromMatching(match, cols, k)
+}
+
+// MNC scores a matching's matched-neighborhood consistency: the mean
+// Jaccard overlap between each source node's matched neighbourhood and
+// its counterpart's neighbourhood. workers ≤ 0 uses every CPU.
+func MNC(match []int, gs, gt *Graph, workers int) float64 {
+	return refine.MNC(match, gs, gt, workers)
+}
 
 // GreedyMatchSim is GreedyMatch over any alignment representation; on a
 // top-k representation it sorts only the O(n·k) candidate pairs.

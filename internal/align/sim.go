@@ -274,3 +274,9 @@ func (r candRow) Swap(a, b int) {
 func sortRowDesc(idx []int32, score []float64) {
 	sort.Sort(candRow{idx: idx, score: score})
 }
+
+// SortRowDesc orders a candidate row best-first in place: descending
+// score, ties by ascending column — the one tie rule every sparse
+// consumer (matching, evaluation, refinement) shares, exported so other
+// packages producing candidate rows cannot drift from it.
+func SortRowDesc(idx []int32, score []float64) { sortRowDesc(idx, score) }

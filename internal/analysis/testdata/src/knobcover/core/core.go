@@ -17,10 +17,17 @@ type Config struct {
 	// Precision models the unvalidated-precision regression: a bare
 	// numeric tier knob the pipeline reads but neither defaults nor
 	// validates, so out-of-range client input would reach the kernels.
-	Precision int    `json:"precision"` // want `referenced in neither withDefaults nor ValidateSimilarity`
-	Dead      int    `json:"dead"`      // want `dead knob`
-	Name      string `json:"name"`
-	Hidden    int    `json:"-"` // want `excluded from JSON and so from cache identity`
+	Precision int `json:"precision"` // want `referenced in neither withDefaults nor ValidateSimilarity`
+	// RefineIters is the clean refine knob: read by the pipeline and
+	// range-checked in ValidateSimilarity.
+	RefineIters int `json:"refine_iters"`
+	// RefineTokenK models the unvalidated-refine regression: the pipeline
+	// consumes the budget but nothing defaults or validates it, so a
+	// negative budget from a client would reach the refinement loop.
+	RefineTokenK int    `json:"refine_token_k"` // want `referenced in neither withDefaults nor ValidateSimilarity`
+	Dead         int    `json:"dead"`           // want `dead knob`
+	Name         string `json:"name"`
+	Hidden       int    `json:"-"` // want `excluded from JSON and so from cache identity`
 	//lint:allow knobcover progress callbacks observe the run and never influence the result
 	Progress Observer `json:"-"`
 }
@@ -46,6 +53,9 @@ func ValidateSimilarity(c Config) error {
 	if c.CandidateK < 0 {
 		return errNegative
 	}
+	if c.RefineIters < 0 {
+		return errNegative
+	}
 	return nil
 }
 
@@ -60,6 +70,9 @@ func Align(c Config) float64 {
 	c = c.withDefaults()
 	v := c.Loose * float64(c.K)
 	v += float64(c.Precision)
+	for i := 0; i < c.RefineIters; i++ {
+		v += float64(c.RefineTokenK)
+	}
 	if c.Name != "" {
 		v++
 	}

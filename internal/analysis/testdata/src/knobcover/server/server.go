@@ -21,5 +21,6 @@ func canonicalConfig(cfg core.Config) core.Config {
 	cfg.Name = "" // want `strips Config.Name from the cache key`
 	//lint:allow knobcover epochs beyond convergence do not change the fixture's result
 	cfg.Epochs = 0
+	cfg.RefineTokenK = 0 // want `strips Config.RefineTokenK from the cache key`
 	return cfg
 }

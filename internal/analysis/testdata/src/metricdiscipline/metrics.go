@@ -16,6 +16,10 @@ type Metrics struct {
 	Flatline atomic.Int64 // want `collector Flatline is exposed but never incremented`
 	Hidden   atomic.Int64 // want `collector Hidden is incremented but never exposed`
 	Renamed  atomic.Int64
+	// Refines and RefineIters are the clean refine-counter pair:
+	// incremented by the handler and exposed under htc_refine_* names.
+	Refines     atomic.Int64
+	RefineIters atomic.Int64
 
 	// seq is unexported concurrency state, not a collector.
 	seq atomic.Int64
@@ -25,12 +29,16 @@ func (m *Metrics) observe() {
 	m.Aligns.Add(1)
 	m.Hidden.Add(1)
 	m.Renamed.Add(1)
+	m.Refines.Add(1)
+	m.RefineIters.Add(5)
 	m.seq.Add(1)
 }
 
 func render(w io.Writer, m *Metrics) {
 	counter(w, "htc_aligns_total", m.Aligns.Load())
 	counter(w, "htc_flatline_total", m.Flatline.Load())
+	counter(w, "htc_refine_runs_total", m.Refines.Load())
+	counter(w, "htc_refine_iters_total", m.RefineIters.Load())
 	fmt.Fprintf(w, "# HELP aligns_renamed_total renders\naligns_renamed_total %d\n", m.Renamed.Load()) // want `exposed under "aligns_renamed_total"`
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/htc-align/htc/internal/dense"
 	"github.com/htc-align/htc/internal/graph"
 	"github.com/htc-align/htc/internal/ingest"
+	"github.com/htc-align/htc/internal/refine"
 )
 
 // benchConfig is the end-to-end benchmark workload: large enough that
@@ -439,6 +440,78 @@ func BenchmarkAlignAnnIngested100K(b *testing.B) {
 			b.ReportMetric(float64(ft), "finetune-bytes/op")
 		})
 	}
+}
+
+// BenchmarkRefine measures the RefiNA refinement stage on both Sim
+// families: a dense 1000×1000 matrix (the full-matrix update) and the
+// candidate lists of an ingested 100 000-node pair (the sparse path — a
+// dense representation at that size would be an 80 GB buffer, so the
+// gated B/op series doubles as the no-materialisation proof: refinement
+// must stay O(n·k·deg)). Setup builds the input similarity synthetically
+// — a noisy score matrix for the dense case, a name-keyed matching
+// lifted through refine.FromMatching for the ingested case — so the
+// measured region is refinement alone, not a pipeline run. Workers is
+// pinned to 1 for the same B/op-gate reason as topkBenchConfig; the
+// snapshot in BENCH_pipeline.json gates time and allocated bytes on
+// both series.
+func BenchmarkRefine(b *testing.B) {
+	b.Run("dense/n=1000", func(b *testing.B) {
+		const n = 1000
+		gs, gt := sparsePair(n, 11)
+		rng := rand.New(rand.NewSource(3))
+		m := dense.New(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		for i := 0; i < n; i++ {
+			m.Set(i, i, 1.5) // true match on the diagonal, noise elsewhere
+		}
+		opts := refine.Options{Iters: 3, Workers: 1}
+		b.ReportAllocs()
+		var mnc float64
+		for i := 0; i < b.N; i++ {
+			res, err := refine.Refine(align.DenseSim{M: m}, gs, gt, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mnc = res.MNC[len(res.MNC)-1]
+		}
+		b.ReportMetric(mnc, "mnc/op")
+	})
+	b.Run("candidates/n=100000", func(b *testing.B) {
+		src, tgt := edgeListText(100_000, 13)
+		ls, err := ingest.Load(strings.NewReader(src), ingest.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lt, err := ingest.Load(strings.NewReader(tgt), ingest.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		match := make([]int, ls.Graph.N())
+		for i := range match {
+			t, ok := lt.Nodes.Index(ls.Nodes.ID(i))
+			if !ok {
+				t = -1
+			}
+			match[i] = t
+		}
+		sim, err := refine.FromMatching(match, lt.Graph.N(), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := refine.Options{Iters: 2, Workers: 1}
+		b.ReportAllocs()
+		var mnc float64
+		for i := 0; i < b.N; i++ {
+			res, err := refine.Refine(sim, ls.Graph, lt.Graph, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mnc = res.MNC[len(res.MNC)-1]
+		}
+		b.ReportMetric(mnc, "mnc/op")
+	})
 }
 
 // BenchmarkAlignLarge is the scaling probe: one heavier orbit-variant run

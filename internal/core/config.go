@@ -336,6 +336,22 @@ type Config struct {
 	// top-k and ANN backends only; a resolved dense backend rejects it
 	// (ErrBadPrecision) rather than silently ignoring it.
 	Precision Precision `json:"precision,omitempty"`
+	// RefineIters runs that many RefiNA iterations over the integrated
+	// similarity as pipeline stage 6 (see internal/refine): each
+	// iteration boosts pairs whose matched neighbors agree, injects a
+	// bounded token-match mass, and renormalises rows then columns. The
+	// default 0 skips the stage entirely — bit-identical to the pipeline
+	// before refinement existed. Negative values are rejected
+	// (ErrBadRefineParam).
+	RefineIters int `json:"refine_iters,omitempty"`
+	// RefineTokenK bounds the refinement token-match budget: per source
+	// row, only the RefineTokenK strongest neighbor-supported columns
+	// can enter the candidate support each iteration. 0 (the default)
+	// resolves to the row budget — every column on the dense backend,
+	// the candidate count on the top-k/ANN backends. Setting it without
+	// RefineIters is rejected rather than silently ignored
+	// (ErrBadRefineParam), as is a negative value.
+	RefineTokenK int `json:"refine_token_k,omitempty"`
 	// Seed drives every random choice (weight init); equal seeds give
 	// bit-identical runs.
 	//lint:allow knobcover every int64 is a valid seed, so there is nothing to default or reject
@@ -538,6 +554,15 @@ func (c Config) ValidateSimilarity(ns, nt int) error {
 	if c.Precision < PrecisionAuto || c.Precision > PrecisionF32 {
 		return fmt.Errorf("%w: precision = %d (want auto, f64 or f32)", ErrBadPrecision, int(c.Precision))
 	}
+	if c.RefineIters < 0 {
+		return fmt.Errorf("%w: refine_iters = %d (want 0 for no refinement, or ≥ 1)", ErrBadRefineParam, c.RefineIters)
+	}
+	if c.RefineTokenK < 0 {
+		return fmt.Errorf("%w: refine_token_k = %d (want 0 for the automatic budget, or ≥ 1)", ErrBadRefineParam, c.RefineTokenK)
+	}
+	if c.RefineTokenK > 0 && c.RefineIters == 0 {
+		return fmt.Errorf("%w: refine_token_k = %d but refine_iters = 0 runs no refinement", ErrBadRefineParam, c.RefineTokenK)
+	}
 	backend := c.Similarity
 	if backend == SimAuto {
 		if ns == 0 && nt == 0 {
@@ -574,6 +599,7 @@ type StageTimings struct {
 	Training      time.Duration
 	FineTuning    time.Duration
 	Integration   time.Duration
+	Refinement    time.Duration
 	Total         time.Duration
 
 	OrbitCountingBytes uint64
@@ -581,13 +607,14 @@ type StageTimings struct {
 	TrainingBytes      uint64
 	FineTuningBytes    uint64
 	IntegrationBytes   uint64
+	RefinementBytes    uint64
 	TotalBytes         uint64
 }
 
 // Other returns the residual time not attributed to a named stage
 // (feature preparation and bookkeeping).
 func (s StageTimings) Other() time.Duration {
-	o := s.Total - s.OrbitCounting - s.Laplacians - s.Training - s.FineTuning - s.Integration
+	o := s.Total - s.OrbitCounting - s.Laplacians - s.Training - s.FineTuning - s.Integration - s.Refinement
 	if o < 0 {
 		return 0
 	}
@@ -597,7 +624,7 @@ func (s StageTimings) Other() time.Duration {
 // OtherBytes returns the allocation residual not attributed to a named
 // stage.
 func (s StageTimings) OtherBytes() uint64 {
-	named := s.OrbitCountingBytes + s.LaplaciansBytes + s.TrainingBytes + s.FineTuningBytes + s.IntegrationBytes
+	named := s.OrbitCountingBytes + s.LaplaciansBytes + s.TrainingBytes + s.FineTuningBytes + s.IntegrationBytes + s.RefinementBytes
 	if named > s.TotalBytes {
 		return 0
 	}
@@ -606,16 +633,24 @@ func (s StageTimings) OtherBytes() uint64 {
 
 // String renders the decomposition in milliseconds plus the per-stage
 // allocation deltas — the line the htc-align CLI prints after a run.
+// The refinement column appears only when the stage ran, keeping the
+// common no-refinement line unchanged.
 func (s StageTimings) String() string {
-	return fmt.Sprintf("orbit=%v laplacian=%v train=%v finetune=%v integrate=%v other=%v total=%v"+
-		" alloc[orbit=%s laplacian=%s train=%s finetune=%s integrate=%s other=%s total=%s]",
+	refine := ""
+	refineAlloc := ""
+	if s.Refinement > 0 || s.RefinementBytes > 0 {
+		refine = fmt.Sprintf(" refine=%v", s.Refinement.Round(time.Millisecond))
+		refineAlloc = fmt.Sprintf(" refine=%s", fmtBytes(s.RefinementBytes))
+	}
+	return fmt.Sprintf("orbit=%v laplacian=%v train=%v finetune=%v integrate=%v%s other=%v total=%v"+
+		" alloc[orbit=%s laplacian=%s train=%s finetune=%s integrate=%s%s other=%s total=%s]",
 		s.OrbitCounting.Round(time.Millisecond), s.Laplacians.Round(time.Millisecond),
 		s.Training.Round(time.Millisecond), s.FineTuning.Round(time.Millisecond),
-		s.Integration.Round(time.Millisecond), s.Other().Round(time.Millisecond),
+		s.Integration.Round(time.Millisecond), refine, s.Other().Round(time.Millisecond),
 		s.Total.Round(time.Millisecond),
 		fmtBytes(s.OrbitCountingBytes), fmtBytes(s.LaplaciansBytes),
 		fmtBytes(s.TrainingBytes), fmtBytes(s.FineTuningBytes),
-		fmtBytes(s.IntegrationBytes), fmtBytes(s.OtherBytes()), fmtBytes(s.TotalBytes))
+		fmtBytes(s.IntegrationBytes), refineAlloc, fmtBytes(s.OtherBytes()), fmtBytes(s.TotalBytes))
 }
 
 // allocBytes reads the process's cumulative allocation counter — the

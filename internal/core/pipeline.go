@@ -15,6 +15,7 @@ import (
 	"github.com/htc-align/htc/internal/graph"
 	"github.com/htc-align/htc/internal/nn"
 	"github.com/htc-align/htc/internal/par"
+	"github.com/htc-align/htc/internal/refine"
 )
 
 // ErrAttrMismatch reports incompatible attribute spaces between the two
@@ -44,6 +45,11 @@ var ErrIgnoredSimKnob = errors.New("core: similarity knob ignored by the resolve
 // no reduced-precision path — the contradiction is rejected rather than
 // silently run in float64).
 var ErrBadPrecision = errors.New("core: invalid precision")
+
+// ErrBadRefineParam reports an out-of-range refinement knob: a negative
+// iteration count or token budget, or a token budget configured on a run
+// with zero refinement iterations (which would silently ignore it).
+var ErrBadRefineParam = errors.New("core: invalid refine parameter")
 
 // OrbitOutcome summarises one orbit's contribution to the final alignment.
 type OrbitOutcome struct {
@@ -91,6 +97,19 @@ type Result struct {
 	// indices — both directions of every orbit's fine-tuning loop,
 	// accumulated over all iterations. Nil on dense and topk runs.
 	Ann *AnnStats
+	// PreRefineSim preserves the stage-5 integrated representation when
+	// refinement ran (Config.RefineIters > 0), so callers can report
+	// refined versus unrefined quality side by side. Nil when refinement
+	// was skipped — Sim then is the stage-5 output itself.
+	PreRefineSim align.Sim
+	// RefineMNC traces matched-neighborhood consistency across refinement
+	// iterations: RefineMNC[0] is the pre-refinement value, RefineMNC[i]
+	// the value after iteration i. Nil when refinement was skipped.
+	RefineMNC []float64
+	// RefineTokenK is the token-match budget refinement resolved to — the
+	// configured value, or the row candidate budget when the config left
+	// it automatic. Zero when refinement was skipped.
+	RefineTokenK int
 	// PerOrbit reports each orbit's trusted-pair count and weight,
 	// ordered by orbit index — the data behind the paper's Fig. 6.
 	PerOrbit []OrbitOutcome
@@ -423,6 +442,40 @@ func (p *Prepared) AlignContext(ctx context.Context, cfg Config) (*Result, error
 	res.Timings.Integration = time.Since(t0)
 	res.Timings.IntegrationBytes = allocBytes() - a0
 	obs.emit(Progress{Stage: StageIntegrate, Done: 1, Total: 1, Orbit: -1})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Stage 6: RefiNA iterative refinement — off by default (RefineIters
+	// = 0 leaves the stage-5 output untouched, bit for bit). When enabled,
+	// the pre-refinement representation is kept on the result so callers
+	// can report refined versus unrefined quality side by side. Refine
+	// never mutates its input, so no defensive clone is needed.
+	if cfg.RefineIters > 0 {
+		t0 = time.Now()
+		a0 = allocBytes()
+		ropts := refine.Options{Iters: cfg.RefineIters, TokenK: cfg.RefineTokenK, Workers: workers, Ctx: ctx}
+		if obs != nil {
+			total := cfg.RefineIters
+			ropts.OnIter = func(iter int, mnc float64) {
+				obs.emit(Progress{Stage: StageRefine, Done: iter, Total: total, Orbit: -1})
+			}
+		}
+		rres, err := refine.Refine(res.Sim, p.gs, p.gt, ropts)
+		if err != nil {
+			return nil, err
+		}
+		res.PreRefineSim = res.Sim
+		res.Sim = rres.Sim
+		res.RefineMNC = rres.MNC
+		res.RefineTokenK = rres.TokenK
+		res.M = nil
+		if d, ok := rres.Sim.(align.DenseSim); ok {
+			res.M = d.M
+		}
+		res.Timings.Refinement = time.Since(t0)
+		res.Timings.RefinementBytes = allocBytes() - a0
+	}
 
 	res.Timings.Total = time.Since(start)
 	res.Timings.TotalBytes = allocBytes() - startAlloc

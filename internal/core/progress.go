@@ -19,6 +19,9 @@ const (
 	StageFineTune = "fine_tune"
 	// StageIntegrate is stage 5: posterior importance integration.
 	StageIntegrate = "integrate"
+	// StageRefine is stage 6: RefiNA iterative refinement; one event per
+	// refinement iteration. Emitted only when Config.RefineIters > 0.
+	StageRefine = "refine"
 )
 
 // Progress is one observation of a running pipeline, delivered to the

@@ -50,14 +50,25 @@ func Custom(pair *datasets.Pair, o Options) ([]Cell, string, error) {
 		if hasTruth {
 			rep := metrics.EvaluateSim(res.Sim, pair.Truth, 1, 10)
 			cell.P1, cell.P10, cell.MRR = rep.PrecisionAt[1], rep.PrecisionAt[10], rep.MRR
+			if res.PreRefineSim != nil {
+				pre := metrics.EvaluateSim(res.PreRefineSim, pair.Truth, 1)
+				cell.P1Unrefined = pre.PrecisionAt[1]
+				cell.Refined = true
+			}
 		}
 		cells = append(cells, cell)
 	}
 
+	refined := hasTruth && o.RefineIters > 0
 	var b strings.Builder
 	fmt.Fprintf(&b, "== custom pair %s: source %v, target %v, %d anchors ==\n",
 		pair.Name, pair.Source, pair.Target, pair.Truth.NumAnchors())
-	if hasTruth {
+	if refined {
+		fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s %9s\n", "variant", "p@1", "p@1 raw", "p@10", "MRR", "seconds")
+		for _, c := range cells {
+			fmt.Fprintf(&b, "%-8s %8.4f %8.4f %8.4f %8.4f %9.2f\n", c.Method, c.P1, c.P1Unrefined, c.P10, c.MRR, c.Seconds)
+		}
+	} else if hasTruth {
 		fmt.Fprintf(&b, "%-8s %8s %8s %8s %9s\n", "variant", "p@1", "p@10", "MRR", "seconds")
 		for _, c := range cells {
 			fmt.Fprintf(&b, "%-8s %8.4f %8.4f %8.4f %9.2f\n", c.Method, c.P1, c.P10, c.MRR, c.Seconds)

@@ -55,6 +55,14 @@ type Options struct {
 	// (auto/f64/f32; the htc-experiments -precision flag) — the knob to
 	// measure the float32 tier against the paper numbers.
 	Precision core.Precision
+	// RefineIters runs that many RefiNA refinement iterations after every
+	// HTC integration (0 = no refinement; the htc-experiments
+	// -refine-iters flag). Refined runs report both the refined and the
+	// unrefined accuracy, so the refinement lift is visible per variant.
+	RefineIters int
+	// RefineTokenK bounds the refinement token-match budget per row (0 =
+	// automatic; the htc-experiments -refine-token-k flag).
+	RefineTokenK int
 }
 
 func (o Options) withDefaults() Options {
@@ -78,7 +86,8 @@ func (o Options) htcConfig() core.Config {
 		Hidden: 64, Embed: 32, Epochs: o.Epochs, Seed: o.Seed, Progress: o.Progress,
 		Similarity: o.Similarity, CandidateK: o.CandidateK,
 		AnnBits: o.AnnBits, AnnProbes: o.AnnProbes, AnnPoolCap: o.AnnPoolCap,
-		Precision: o.Precision,
+		Precision:   o.Precision,
+		RefineIters: o.RefineIters, RefineTokenK: o.RefineTokenK,
 	}
 }
 
@@ -119,6 +128,11 @@ type Cell struct {
 	P1, P10 float64
 	MRR     float64
 	Seconds float64
+	// P1Unrefined is the pre-refinement p@1 of an HTC run whose config
+	// enabled the RefiNA stage; Refined marks such runs (other cells
+	// leave both zero).
+	P1Unrefined float64
+	Refined     bool
 }
 
 // simAligner is the optional richer face of an Aligner: it returns the

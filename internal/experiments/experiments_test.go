@@ -70,6 +70,32 @@ func TestTable3(t *testing.T) {
 	}
 }
 
+// TestTable3Refined covers the refinement face of the ablation table: a
+// nonzero RefineIters runs the RefiNA stage on every variant and adds
+// the unrefined p@1 column to the rendering.
+func TestTable3Refined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation roster is slow")
+	}
+	o := tiny()
+	o.RefineIters = 3
+	cells, text, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if !c.Refined {
+			t.Fatalf("cell %+v not marked Refined with RefineIters = 3", c)
+		}
+		if c.P1Unrefined < 0 || c.P1Unrefined > 1 {
+			t.Fatalf("bad unrefined p@1 in %+v", c)
+		}
+	}
+	if !strings.Contains(text, "p@1 raw") {
+		t.Fatal("refined rendering missing the unrefined column")
+	}
+}
+
 func TestFig6(t *testing.T) {
 	rows, text, err := Fig6(tiny())
 	if err != nil {

@@ -1,0 +1,67 @@
+package refine
+
+import (
+	"github.com/htc-align/htc/internal/graph"
+	"github.com/htc-align/htc/internal/par"
+)
+
+// MNC computes the matched neighborhood consistency of a hard alignment
+// (match[s] = t, −1 unmatched): the mean, over all source nodes, of the
+// Jaccard similarity between the matched images of a node's neighbors
+// and the neighborhood of the node's own match — the objective RefiNA
+// iterations climb. An unmatched node, or one whose comparison sets are
+// both empty, contributes 0, so MNC ∈ [0, 1] and is 1 exactly when the
+// alignment maps every neighborhood onto its counterpart.
+func MNC(match []int, gs, gt *graph.Graph, workers int) float64 {
+	n := gs.N()
+	if n == 0 {
+		return 0
+	}
+	per := make([]float64, n)
+	type mncScratch struct {
+		inB  []int // stamp: target is a neighbor of match[i]
+		seen []int // stamp: matched image already counted for A
+		gen  int
+	}
+	scratches := make([]*mncScratch, par.Resolve(workers))
+	par.Sharded(workers, n, func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &mncScratch{inB: make([]int, gt.N()), seen: make([]int, gt.N())}
+			scratches[w] = sc
+		}
+		m := match[i]
+		if m < 0 {
+			return
+		}
+		sc.gen++
+		nb := gt.Neighbors(m)
+		for _, j := range nb {
+			sc.inB[j] = sc.gen
+		}
+		// A = {match[u] : u ∈ N₁(i), matched}, deduplicated.
+		sizeA, inter := 0, 0
+		for _, u := range gs.Neighbors(i) {
+			t := match[u]
+			if t < 0 || sc.seen[t] == sc.gen {
+				continue
+			}
+			sc.seen[t] = sc.gen
+			sizeA++
+			if sc.inB[t] == sc.gen {
+				inter++
+			}
+		}
+		union := sizeA + len(nb) - inter
+		if union > 0 {
+			per[i] = float64(inter) / float64(union)
+		}
+	})
+	// Deterministic reduction: per-row values sum in index order
+	// regardless of which worker produced them.
+	var sum float64
+	for _, v := range per {
+		sum += v
+	}
+	return sum / float64(n)
+}

@@ -8,6 +8,7 @@
 //
 //	POST   /v1/align         submit an alignment job (202; 200 on cache hit)
 //	POST   /v1/sweep         run several configs over one shared prepared pair
+//	POST   /v1/refine        RefiNA-refine a finished job's or an uploaded matching
 //	GET    /v1/jobs/{id}     job status, queue position, live progress, result
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	PUT    /v1/datasets/{id} upload a real dataset (any registered format)
@@ -276,11 +277,16 @@ func (r *AlignRequest) singleRequest(cfg core.Config) *AlignRequest {
 
 // cutoffs returns the sorted, deduplicated precision@q cutoffs, applying
 // the default when the request names none.
-func (r *AlignRequest) cutoffs() []int {
-	if len(r.HitsAt) == 0 {
+func (r *AlignRequest) cutoffs() []int { return sortedCutoffs(r.HitsAt) }
+
+// sortedCutoffs normalises a hits_at list — sorted, deduplicated,
+// defaulting to 1/5/10 — the one cutoff policy /v1/align and /v1/refine
+// share.
+func sortedCutoffs(hitsAt []int) []int {
+	if len(hitsAt) == 0 {
 		return []int{1, 5, 10}
 	}
-	qs := append([]int(nil), r.HitsAt...)
+	qs := append([]int(nil), hitsAt...)
 	sort.Ints(qs)
 	out := qs[:0]
 	for i, q := range qs {
@@ -317,12 +323,14 @@ type StageMS struct {
 	Training           float64 `json:"training"`
 	FineTuning         float64 `json:"fine_tuning"`
 	Integration        float64 `json:"integration"`
+	Refinement         float64 `json:"refinement,omitempty"`
 	Total              float64 `json:"total"`
 	OrbitCountingBytes uint64  `json:"orbit_counting_bytes"`
 	LaplaciansBytes    uint64  `json:"laplacians_bytes"`
 	TrainingBytes      uint64  `json:"training_bytes"`
 	FineTuningBytes    uint64  `json:"fine_tuning_bytes"`
 	IntegrationBytes   uint64  `json:"integration_bytes"`
+	RefinementBytes    uint64  `json:"refinement_bytes,omitempty"`
 	TotalBytes         uint64  `json:"total_bytes"`
 }
 
@@ -331,10 +339,10 @@ func stageMS(t core.StageTimings) StageMS {
 	return StageMS{
 		OrbitCounting: ms(t.OrbitCounting), Laplacians: ms(t.Laplacians),
 		Training: ms(t.Training), FineTuning: ms(t.FineTuning),
-		Integration: ms(t.Integration), Total: ms(t.Total),
+		Integration: ms(t.Integration), Refinement: ms(t.Refinement), Total: ms(t.Total),
 		OrbitCountingBytes: t.OrbitCountingBytes, LaplaciansBytes: t.LaplaciansBytes,
 		TrainingBytes: t.TrainingBytes, FineTuningBytes: t.FineTuningBytes,
-		IntegrationBytes: t.IntegrationBytes, TotalBytes: t.TotalBytes,
+		IntegrationBytes: t.IntegrationBytes, RefinementBytes: t.RefinementBytes, TotalBytes: t.TotalBytes,
 	}
 }
 
@@ -349,8 +357,21 @@ type AlignResult struct {
 	// PerOrbit reports each orbit's trusted-pair count and posterior
 	// weight.
 	PerOrbit []OrbitReport `json:"per_orbit"`
-	// Eval is present when ground truth was available.
+	// Eval is present when ground truth was available. On refined runs
+	// (config.refine_iters > 0) it scores the refined alignment;
+	// EvalPreRefine then holds the stage-5 numbers for comparison.
 	Eval *EvalReport `json:"eval,omitempty"`
+	// EvalPreRefine scores the pre-refinement alignment of a refined run
+	// against the same truth, so clients read refined and unrefined
+	// quality side by side. Absent when refinement was off.
+	EvalPreRefine *EvalReport `json:"eval_pre_refine,omitempty"`
+	// RefineMNC traces matched-neighborhood consistency across refinement
+	// iterations (entry 0 = before refinement). Absent when refinement
+	// was off.
+	RefineMNC []float64 `json:"refine_mnc,omitempty"`
+	// RefineTokenK is the token-match budget refinement resolved to
+	// (absent when refinement was off).
+	RefineTokenK int `json:"refine_token_k,omitempty"`
 	// TimingsMS decomposes the run's cost by pipeline stage.
 	TimingsMS StageMS `json:"timings_ms"`
 	// EpochsTrained is the number of training epochs actually run.
@@ -439,6 +460,22 @@ type Capabilities struct {
 	MaxNodes int `json:"max_nodes"`
 	// MaxSweepConfigs bounds the configs list of one sweep.
 	MaxSweepConfigs int `json:"max_sweep_configs"`
+	// Refine describes the POST /v1/refine primitive and the refinement
+	// knobs the align config accepts.
+	Refine RefineCaps `json:"refine"`
+}
+
+// RefineCaps is the refinement block of the capabilities payload.
+type RefineCaps struct {
+	// Knobs lists the refinement knobs accepted both by the align
+	// config and by POST /v1/refine.
+	Knobs []string `json:"knobs"`
+	// DefaultIters is the iteration count /v1/refine runs when the
+	// request leaves refine_iters at 0.
+	DefaultIters int `json:"default_iters"`
+	// MaxIters bounds refine_iters on /v1/refine (the endpoint runs
+	// synchronously, so the work per request is capped).
+	MaxIters int `json:"max_iters"`
 }
 
 // ProgressInfo is the live progress block of a running job, mirrored from

@@ -126,6 +126,67 @@ func (c *resultCache) len() int {
 	return c.order.Len()
 }
 
+// refineCache is a bounded, thread-safe LRU from a refine request's
+// content identity (input matching + graphs + knobs) to its completed
+// RefineResult. Refinement is deterministic given its input, so entries
+// never go stale.
+type refineCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type refineEntry struct {
+	key string
+	res *RefineResult
+}
+
+func newRefineCache(capacity int) *refineCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &refineCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns a copy of the cached result flagged Cached, or nil.
+func (c *refineCache) get(key string) *RefineResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	cp := *el.Value.(*refineEntry).res
+	cp.Cached = true
+	return &cp
+}
+
+// put stores a result, evicting the least recently used entry when full.
+func (c *refineCache) put(key string, res *RefineResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*refineEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&refineEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*refineEntry).key)
+	}
+}
+
+// len reports the number of cached refine results.
+func (c *refineCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
 // preparedCache is a bounded LRU from a graph pair's content hash
 // (core.PairHash) to its prepared pipeline artifacts, so separate jobs on
 // the same pair — a client re-submitting with new hyperparameters, a

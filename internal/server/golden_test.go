@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -31,6 +32,7 @@ var volatileKeys = map[string]any{
 	"workers_used":   "<workers>",
 	"queue_position": "<position>",
 	"uploaded_at":    "<time>",
+	"refine_ms":      "<timings>",
 }
 
 // normalize walks decoded JSON and stubs the volatile fields.
@@ -249,6 +251,115 @@ func TestV1GoldenError(t *testing.T) {
 		t.Fatalf("expected 404, got %d\n%s", resp.StatusCode, blob)
 	}
 	checkGolden(t, "error_not_found.golden", blob)
+}
+
+// TestV1GoldenRefine locks the wire contract of POST /v1/refine in both
+// input shapes — a finished alignment job and an uploaded name-keyed
+// matching — plus the job payload of an alignment that ran the stage-6
+// refinement itself (refine_mnc trace, pre-refine evaluation).
+func TestV1GoldenRefine(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+
+	// Job-id input: refine the matching of a finished /v1/align job.
+	resp, err := http.Post(ts.URL+"/v1/align", "application/json",
+		bytes.NewReader([]byte(readFixture(t, "align_request.json"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBlob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", resp.StatusCode, submitBlob)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(submitBlob, &info); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, ts, info.ID, StatusDone)
+
+	body := fmt.Sprintf(`{"job": %q, "refine_iters": 3}`, info.ID)
+	resp, err = http.Post(ts.URL+"/v1/refine", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refine job: %d\n%s", resp.StatusCode, blob)
+	}
+	checkGolden(t, "refine_job.golden", blob)
+
+	// Uploaded-matching input: a name-keyed matching over an uploaded
+	// dataset, two of its pairs deliberately swapped.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/datasets/bridge-pair",
+		bytes.NewReader([]byte(readFixture(t, "dataset_put.json"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putBlob, _ := readAll(resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: %d\n%s", resp.StatusCode, putBlob)
+	}
+	resp, err = http.Post(ts.URL+"/v1/refine", "application/json",
+		bytes.NewReader([]byte(readFixture(t, "refine_dataset_request.json"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refine dataset: %d\n%s", resp.StatusCode, blob)
+	}
+	checkGolden(t, "refine_dataset.golden", blob)
+
+	// An alignment whose own config enables refinement reports the MNC
+	// trace and the pre-refine evaluation alongside the refined one.
+	resp, err = http.Post(ts.URL+"/v1/align", "application/json",
+		bytes.NewReader([]byte(readFixture(t, "refine_align_request.json"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBlob, _ = readAll(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit refine align: %d\n%s", resp.StatusCode, submitBlob)
+	}
+	if err := json.Unmarshal(submitBlob, &info); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, ts, info.ID, StatusDone)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneBlob, _ := readAll(resp)
+	checkGolden(t, "refine_align_job_done.golden", doneBlob)
+}
+
+// TestV1GoldenRefineErrors locks the 400 envelopes for the ways a refine
+// request can be wrong: a job the server has never seen, a dataset that
+// was never uploaded, and an out-of-range token budget.
+func TestV1GoldenRefineErrors(t *testing.T) {
+	ts := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		golden string
+		body   string
+	}{
+		{"refine_error_unknown_job.golden", `{"job": "nonexistent"}`},
+		{"refine_error_unknown_dataset.golden", `{"dataset": "never-uploaded", "matching": [["a", "x1"]]}`},
+		{"refine_error_bad_token_k.golden", `{"job": "whatever", "refine_token_k": -3}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/refine", "application/json", bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := readAll(resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: expected 400, got %d\n%s", c.golden, resp.StatusCode, blob)
+		}
+		checkGolden(t, c.golden, blob)
+	}
 }
 
 func readAll(resp *http.Response) ([]byte, error) {

@@ -59,6 +59,15 @@ type Metrics struct {
 	// configs that resolved there alike), so operators can see how much
 	// traffic actually exercises the half-width path.
 	SimF32Runs atomic.Int64
+	// RefineRuns counts POST /v1/refine executions (cache hits excluded);
+	// RefineIterations accumulates the RefiNA iterations they ran;
+	// RefineCacheHits counts refine requests served from the refine
+	// cache; RefinedAlignRuns counts pipeline runs whose config enabled
+	// the stage-6 refinement.
+	RefineRuns       atomic.Int64
+	RefineIterations atomic.Int64
+	RefineCacheHits  atomic.Int64
+	RefinedAlignRuns atomic.Int64
 }
 
 // recordBackend tallies one completed pipeline run under its resolved
@@ -81,6 +90,9 @@ func (m *Metrics) recordBackend(res *core.Result) {
 	}
 	if res.Precision == "f32" {
 		m.SimF32Runs.Add(1)
+	}
+	if len(res.RefineMNC) > 0 {
+		m.RefinedAlignRuns.Add(1)
 	}
 }
 
@@ -110,6 +122,10 @@ func (m *Metrics) writePrometheus(w io.Writer, extras map[string]float64) {
 	counter("htc_sim_ann_pool_rows", "Candidate rows gathered for exact re-ranking across ANN runs.", m.SimAnnPoolRows.Load())
 	counter("htc_sim_ann_refit_reuse_total", "Rows whose hash codes were reused across fine-tune refits in ANN runs.", m.SimAnnRefitReuse.Load())
 	counter("htc_sim_f32_runs_total", "Pipeline runs whose fine-tune similarity ran on the float32 tier.", m.SimF32Runs.Load())
+	counter("htc_refine_runs_total", "POST /v1/refine executions (cache hits excluded).", m.RefineRuns.Load())
+	counter("htc_refine_iters_total", "RefiNA iterations run on behalf of /v1/refine requests.", m.RefineIterations.Load())
+	counter("htc_refine_cache_hits_total", "Refine requests served from the refine result cache.", m.RefineCacheHits.Load())
+	counter("htc_refined_align_runs_total", "Pipeline runs whose config enabled stage-6 refinement.", m.RefinedAlignRuns.Load())
 	fmt.Fprintf(w, "# HELP htc_jobs_running Jobs currently holding a worker.\n# TYPE htc_jobs_running gauge\nhtc_jobs_running %d\n", m.JobsRunning.Load())
 	names := make([]string, 0, len(extras))
 	for name := range extras {

@@ -81,6 +81,7 @@ type Server struct {
 	opts     Options
 	queue    *Queue
 	cache    *resultCache
+	refines  *refineCache
 	prepared *preparedCache
 	datasets *datasetStore
 	metrics  *Metrics
@@ -95,6 +96,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:     opts,
 		cache:    newResultCache(opts.CacheSize),
+		refines:  newRefineCache(opts.CacheSize),
 		prepared: newPreparedCache(opts.PreparedCacheSize),
 		datasets: newDatasetStore(opts.DatasetCacheSize),
 		metrics:  &Metrics{},
@@ -104,6 +106,7 @@ func New(opts Options) *Server {
 	s.queue = NewQueue(opts.Workers, opts.QueueDepth, s.runJob, s.metrics)
 	s.mux.HandleFunc("POST /v1/align", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/refine", s.handleRefine)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("PUT /v1/datasets/{id}", s.handleDatasetPut)
@@ -373,6 +376,14 @@ func buildResult(res *core.Result, pair *datasets.Pair, qs []int) *AlignResult {
 		rep := metrics.EvaluateSim(res.Sim, truth, qs...)
 		out.Eval = &EvalReport{PrecisionAt: rep.PrecisionAt, MRR: rep.MRR, Anchors: rep.Anchors}
 	}
+	if res.PreRefineSim != nil {
+		out.RefineMNC = res.RefineMNC
+		out.RefineTokenK = res.RefineTokenK
+		if truth := pair.Truth; truth.NumAnchors() > 0 {
+			rep := metrics.EvaluateSim(res.PreRefineSim, truth, qs...)
+			out.EvalPreRefine = &EvalReport{PrecisionAt: rep.PrecisionAt, MRR: rep.MRR, Anchors: rep.Anchors}
+		}
+	}
 	return out
 }
 
@@ -622,6 +633,11 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		Datasets:           Datasets(),
 		MaxNodes:           s.opts.MaxNodes,
 		MaxSweepConfigs:    MaxSweepConfigs,
+		Refine: RefineCaps{
+			Knobs:        []string{"refine_iters", "refine_token_k"},
+			DefaultIters: DefaultRefineIters,
+			MaxIters:     MaxRefineIters,
+		},
 	})
 }
 
@@ -651,6 +667,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"htc_queue_capacity":   float64(capacity),
 		"htc_workers":          float64(s.queue.Workers()),
 		"htc_cache_entries":    float64(s.cache.len()),
+		"htc_refine_entries":   float64(s.refines.len()),
 		"htc_prepared_entries": float64(s.prepared.len()),
 		"htc_dataset_entries":  float64(s.datasets.len()),
 		"htc_uptime_seconds":   time.Since(s.started).Seconds(),
